@@ -1,0 +1,311 @@
+// Package repro's root benchmark suite regenerates every table and figure
+// of the paper's evaluation as Go benchmarks (one per table/figure, plus
+// the complexity and pruning ablations). Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks execute a full scaled-down sweep per iteration and
+// additionally report the headline comparison (unified-cost ratio and
+// speedup of pruneGreedyDP over the baselines) via b.ReportMetric.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/workload"
+)
+
+// benchScale keeps the figure sweeps laptop-sized; the cmd/urpsm-bench
+// tool exposes the same sweeps at arbitrary scales.
+const benchScale = 0.015
+
+var (
+	runnerOnce sync.Once
+	runnerCh   *expt.Runner
+	runnerNYC  *expt.Runner
+)
+
+// benchRunners lazily builds one runner per dataset, shared by all figure
+// benchmarks (network generation and hub labeling dominate setup cost).
+func benchRunners(b *testing.B) (*expt.Runner, *expt.Runner) {
+	b.Helper()
+	runnerOnce.Do(func() {
+		var err error
+		runnerCh, err = expt.NewRunner(workload.ChengduLike(benchScale), 1)
+		if err != nil {
+			panic(err)
+		}
+		runnerNYC, err = expt.NewRunner(workload.NYCLike(benchScale), 1)
+		if err != nil {
+			panic(err)
+		}
+		runnerCh.KineticMaxNodes = 20000
+		runnerNYC.KineticMaxNodes = 20000
+	})
+	return runnerCh, runnerNYC
+}
+
+// reportSeries derives the paper's headline comparisons from a sweep and
+// attaches them to the benchmark output.
+func reportSeries(b *testing.B, s expt.Series) {
+	b.Helper()
+	var ucPG, ucWorst, respPG, respSlowest float64
+	count := 0
+	for _, pt := range s.Points {
+		pg, ok := pt.Metrics["pruneGreedyDP"]
+		if !ok {
+			continue
+		}
+		count++
+		ucPG += pg.UnifiedCost
+		respPG += pg.AvgResponseMs
+		worst, slow := pg.UnifiedCost, pg.AvgResponseMs
+		for algo, m := range pt.Metrics {
+			if algo == "pruneGreedyDP" {
+				continue
+			}
+			if m.UnifiedCost > worst {
+				worst = m.UnifiedCost
+			}
+			if m.AvgResponseMs > slow {
+				slow = m.AvgResponseMs
+			}
+		}
+		ucWorst += worst
+		respSlowest += slow
+	}
+	if count == 0 || ucPG == 0 || respPG == 0 {
+		return
+	}
+	b.ReportMetric(ucWorst/ucPG, "worstUC/pruneUC")
+	b.ReportMetric(respSlowest/respPG, "slowest/prune-resp")
+}
+
+func benchFigure(b *testing.B, dataset string, fig func(*expt.Runner, []string) (expt.Series, error)) {
+	ch, nyc := benchRunners(b)
+	r := ch
+	if dataset == "NYC" {
+		r = nyc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := fig(r, expt.Algorithms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSeries(b, s)
+		}
+	}
+}
+
+// BenchmarkTable4DatasetStats regenerates Table 4 (dataset statistics).
+func BenchmarkTable4DatasetStats(b *testing.B) {
+	ch, nyc := benchRunners(b)
+	for i := 0; i < b.N; i++ {
+		for _, r := range []*expt.Runner{ch, nyc} {
+			if _, err := r.Table4(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig3VaryWorkers regenerates Fig. 3 (vary |W|).
+func BenchmarkFig3VaryWorkers(b *testing.B) {
+	for _, ds := range []string{"Chengdu", "NYC"} {
+		b.Run(ds, func(b *testing.B) {
+			benchFigure(b, ds, func(r *expt.Runner, a []string) (expt.Series, error) { return r.Fig3(a) })
+		})
+	}
+}
+
+// BenchmarkFig4VaryCapacity regenerates Fig. 4 (vary K_w).
+func BenchmarkFig4VaryCapacity(b *testing.B) {
+	for _, ds := range []string{"Chengdu", "NYC"} {
+		b.Run(ds, func(b *testing.B) {
+			benchFigure(b, ds, func(r *expt.Runner, a []string) (expt.Series, error) { return r.Fig4(a) })
+		})
+	}
+}
+
+// BenchmarkFig5VaryGrid regenerates Fig. 5 (vary grid size g, with index
+// memory).
+func BenchmarkFig5VaryGrid(b *testing.B) {
+	for _, ds := range []string{"Chengdu", "NYC"} {
+		b.Run(ds, func(b *testing.B) {
+			benchFigure(b, ds, func(r *expt.Runner, a []string) (expt.Series, error) { return r.Fig5(a) })
+		})
+	}
+}
+
+// BenchmarkFig6VaryDeadline regenerates Fig. 6 (vary deadline e_r, with
+// saved distance queries).
+func BenchmarkFig6VaryDeadline(b *testing.B) {
+	for _, ds := range []string{"Chengdu", "NYC"} {
+		b.Run(ds, func(b *testing.B) {
+			benchFigure(b, ds, func(r *expt.Runner, a []string) (expt.Series, error) { return r.Fig6(a) })
+		})
+	}
+}
+
+// BenchmarkFig7VaryPenalty regenerates Fig. 7 (vary penalty p_r).
+func BenchmarkFig7VaryPenalty(b *testing.B) {
+	for _, ds := range []string{"Chengdu", "NYC"} {
+		b.Run(ds, func(b *testing.B) {
+			benchFigure(b, ds, func(r *expt.Runner, a []string) (expt.Series, error) { return r.Fig7(a) })
+		})
+	}
+}
+
+// BenchmarkHardnessAdversary replays the §3.3 lower-bound constructions.
+func BenchmarkHardnessAdversary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := expt.Hardness(workload.AdvServedCount, []int{8, 32, 128}, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// Served fraction at the largest |V| — should be near zero.
+			last := pts[len(pts)-1]
+			b.ReportMetric(float64(last.OnlineServed)/float64(last.Trials), "served@|V|=128")
+		}
+	}
+}
+
+// BenchmarkInsertionScaling is the §4 complexity ablation: the three
+// operators on growing route lengths with an O(1) oracle. The per-op
+// times in the sub-benchmark names reproduce the cubic/quadric/linear
+// separation.
+func BenchmarkInsertionScaling(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64, 128, 256} {
+		g, err := roadnet.LineGraph(2*n+10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := shortest.NewMatrix(g)
+		rt, req := scalingRoute(b, m.Dist, n)
+		L := m.Dist(req.Origin, req.Dest)
+		b.Run(fmt.Sprintf("basic/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.BasicInsertion(rt, 1<<30, req, m.Dist)
+			}
+		})
+		b.Run(fmt.Sprintf("naiveDP/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.NaiveDPInsertion(rt, 1<<30, req, L, m.Dist)
+			}
+		})
+		b.Run(fmt.Sprintf("linearDP/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.LinearDPInsertion(rt, 1<<30, req, L, m.Dist)
+			}
+		})
+	}
+}
+
+func scalingRoute(b *testing.B, dist core.DistFunc, n int) (*core.Route, *core.Request) {
+	b.Helper()
+	rt := &core.Route{Loc: 0, Now: 0}
+	for i := 0; i < n/2; i++ {
+		v := roadnet.VertexID(2*i + 2)
+		rt.Stops = append(rt.Stops,
+			core.Stop{Vertex: v, Kind: core.Pickup, Req: core.RequestID(i), Cap: 1, DDL: 1e15},
+			core.Stop{Vertex: v + 1, Kind: core.Dropoff, Req: core.RequestID(i), Cap: 1, DDL: 1e15},
+		)
+	}
+	rt.Recompute(dist)
+	req := &core.Request{ID: 1 << 20, Origin: 1, Dest: roadnet.VertexID(2*(n/2) + 3), Deadline: 1e15, Capacity: 1}
+	return rt, req
+}
+
+// BenchmarkPruningAblation quantifies Lemma 8: distance queries and wall
+// time of pruneGreedyDP vs GreedyDP on identical workloads.
+func BenchmarkPruningAblation(b *testing.B) {
+	ch, _ := benchRunners(b)
+	for _, algo := range []string{"pruneGreedyDP", "GreedyDP"} {
+		b.Run(algo, func(b *testing.B) {
+			var queries uint64
+			for i := 0; i < b.N; i++ {
+				m, err := ch.RunOne(ch.Base, algo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				queries = m.DistQueries
+			}
+			b.ReportMetric(float64(queries), "dist-queries")
+		})
+	}
+}
+
+// BenchmarkOperatorInPlannerAblation runs the full pruneGreedy solution
+// with each of the three insertion operators: quality is identical (the
+// operators find the same optimum), so the wall-clock difference isolates
+// the §4 contribution inside the complete system.
+func BenchmarkOperatorInPlannerAblation(b *testing.B) {
+	ch, _ := benchRunners(b)
+	for _, algo := range []string{"pruneGreedyBasic", "pruneGreedyNaive", "pruneGreedyDP"} {
+		b.Run(algo, func(b *testing.B) {
+			var served int
+			for i := 0; i < b.N; i++ {
+				m, err := ch.RunOne(ch.Base, algo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				served = m.Served
+			}
+			b.ReportMetric(float64(served), "served")
+		})
+	}
+}
+
+// BenchmarkOracleAblation swaps the distance oracle underneath the whole
+// pipeline: hub labels vs contraction hierarchies vs plain bidirectional
+// Dijkstra. Outcomes are identical (all exact); only the per-query cost
+// differs, which dominates total planning time exactly as the paper's
+// "shortest distance queries are the basic operation" framing predicts.
+func BenchmarkOracleAblation(b *testing.B) {
+	ch, _ := benchRunners(b)
+	defer func() { ch.OracleKind = "" }()
+	for _, kind := range []string{"hub", "ch", "bidijkstra"} {
+		b.Run(kind, func(b *testing.B) {
+			ch.OracleKind = kind
+			for i := 0; i < b.N; i++ {
+				if _, err := ch.RunOne(ch.Base, "pruneGreedyDP"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecisionLowerBound measures the zero-query Lemma 7 bound in
+// isolation: it must stay linear in route length and allocation-light.
+func BenchmarkDecisionLowerBound(b *testing.B) {
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 20, Cols: 20, Spacing: 150, Jitter: 0.2, ArterialEvery: 5,
+		MotorwayRing: true, DetourMin: 1.05, DetourMax: 1.3, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := shortest.NewMatrix(g)
+	rt, req := scalingRoute(b, m.Dist, 16)
+	// Re-home the synthetic route onto this graph's vertex range.
+	for i := range rt.Stops {
+		rt.Stops[i].Vertex = roadnet.VertexID(i % g.NumVertices())
+	}
+	rt.Recompute(m.Dist)
+	req.Origin, req.Dest = 5, roadnet.VertexID(g.NumVertices()-1)
+	L := m.Dist(req.Origin, req.Dest)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LowerBoundInsertion(rt, 1<<30, req, g, L)
+	}
+}

@@ -1,0 +1,94 @@
+// Command urpsm-sim runs one shared-mobility simulation and prints its
+// metrics — the quickest way to watch the algorithms against each other on
+// a single configuration.
+//
+// Usage:
+//
+//	urpsm-sim -dataset chengdu -scale 0.05 -algo pruneGreedyDP
+//	urpsm-sim -dataset nyc -scale 0.02 -algo all -deadline 15 -workers 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "chengdu", "dataset: chengdu|nyc")
+		scale    = flag.Float64("scale", 0.05, "workload scale factor in (0,1]")
+		algo     = flag.String("algo", "pruneGreedyDP", "algorithm name or 'all'")
+		workers  = flag.Int("workers", 0, "override number of workers (0 = preset)")
+		requests = flag.Int("requests", 0, "override number of requests (0 = preset)")
+		deadline = flag.Float64("deadline", 0, "override deadline in minutes (0 = preset)")
+		penalty  = flag.Float64("penalty", 0, "override penalty factor (0 = preset)")
+		capacity = flag.Float64("capacity", 0, "override mean worker capacity (0 = preset)")
+		gridKm   = flag.Float64("grid", 2, "grid cell size g in km")
+		seed     = flag.Int64("seed", 0, "override workload seed (0 = preset)")
+		repeat   = flag.Int("repeat", 1, "repetitions to average")
+	)
+	flag.Parse()
+	if err := run(*dataset, *algo, *scale, *workers, *requests, *deadline,
+		*penalty, *capacity, *gridKm, *seed, *repeat); err != nil {
+		fmt.Fprintln(os.Stderr, "urpsm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset, algo string, scale float64, workers, requests int,
+	deadlineMin, penalty, capacity, gridKm float64, seed int64, repeat int) error {
+	var p workload.Params
+	switch strings.ToLower(dataset) {
+	case "chengdu":
+		p = workload.ChengduLike(scale)
+	case "nyc":
+		p = workload.NYCLike(scale)
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+	if workers > 0 {
+		p.NumWorkers = workers
+	}
+	if requests > 0 {
+		p.NumRequests = requests
+	}
+	if deadlineMin > 0 {
+		p.DeadlineSec = deadlineMin * 60
+	}
+	if penalty > 0 {
+		p.PenaltyFactor = penalty
+	}
+	if capacity > 0 {
+		p.CapacityMean = capacity
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+
+	runner, err := expt.NewRunner(p, repeat)
+	if err != nil {
+		return err
+	}
+	runner.CellMeters = gridKm * 1000
+	fmt.Printf("dataset=%s |V|=%d |E|=%d requests=%d workers=%d deadline=%.0fs penalty=%.0fx\n",
+		p.Name, runner.G.NumVertices(), runner.G.NumEdges(),
+		p.NumRequests, p.NumWorkers, p.DeadlineSec, p.PenaltyFactor)
+
+	algos := []string{algo}
+	if algo == "all" {
+		algos = expt.Algorithms
+	}
+	for _, a := range algos {
+		m, err := runner.RunOne(p, a)
+		if err != nil {
+			return err
+		}
+		fmt.Println(m.String())
+	}
+	return nil
+}

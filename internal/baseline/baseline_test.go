@@ -1,0 +1,309 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/workload"
+)
+
+type world struct {
+	g     *roadnet.Graph
+	dist  core.DistFunc
+	inst  *workload.Instance
+	fleet *core.Fleet
+}
+
+func newWorld(t testing.TB, seed int64, nWorkers, nRequests int, cellMeters float64) *world {
+	t.Helper()
+	p := workload.ChengduLike(0.02)
+	p.Net.Rows, p.Net.Cols = 22, 22
+	p.Net.Seed = seed
+	p.Seed = seed*7 + 1
+	p.NumWorkers = nWorkers
+	p.NumRequests = nRequests
+	g, err := roadnet.Generate(p.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shortest.NewMatrix(g)
+	inst, err := workload.BuildOn(p, g, m.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := core.NewFleet(g, m.Dist, inst.Workers, cellMeters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{g: g, dist: m.Dist, inst: inst, fleet: fleet}
+}
+
+// run feeds all requests (parked-worker degenerate simulation) and
+// validates every touched route.
+func run(t *testing.T, w *world, p core.Planner) (served, rejected int) {
+	t.Helper()
+	for _, r := range w.inst.Requests {
+		res := p.OnRequest(r.Release, r)
+		if res.Deferred {
+			continue
+		}
+		if res.Served {
+			served++
+			wk := w.fleet.Worker(res.Worker)
+			if err := wk.Route.Validate(wk.Capacity, w.dist); err != nil {
+				t.Fatalf("%s produced invalid route: %v", p.Name(), err)
+			}
+		} else {
+			rejected++
+		}
+	}
+	if d, ok := p.(core.Deferring); ok {
+		last := w.inst.Requests[len(w.inst.Requests)-1].Release
+		d.FlushAll(last)
+		for _, dr := range d.TakeDecided() {
+			if dr.Result.Served {
+				served++
+				wk := w.fleet.Worker(dr.Result.Worker)
+				if err := wk.Route.Validate(wk.Capacity, w.dist); err != nil {
+					t.Fatalf("%s produced invalid route: %v", p.Name(), err)
+				}
+			} else {
+				rejected++
+			}
+		}
+	}
+	return served, rejected
+}
+
+func TestTShareServesAndStaysFeasible(t *testing.T) {
+	w := newWorld(t, 5, 15, 250, 1000)
+	ts, err := NewTShare(w.fleet, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Name() != "tshare" {
+		t.Fatal("name")
+	}
+	served, rejected := run(t, w, ts)
+	if served == 0 {
+		t.Fatal("tshare served nothing")
+	}
+	if served+rejected != len(w.inst.Requests) {
+		t.Fatalf("accounting: %d+%d != %d", served, rejected, len(w.inst.Requests))
+	}
+	if ts.GridMemoryBytes() <= 0 {
+		t.Fatal("grid memory not reported")
+	}
+}
+
+func TestKineticServesAndStaysFeasible(t *testing.T) {
+	// Parked workers never consume stops, so routes grow far beyond what a
+	// live simulation produces; keep the stream short to bound the DFS.
+	w := newWorld(t, 7, 12, 60, 1000)
+	k := NewKinetic(w.fleet, 1)
+	k.MaxNodes = 20000
+	if k.Name() != "kinetic" {
+		t.Fatal("name")
+	}
+	served, _ := run(t, w, k)
+	if served == 0 {
+		t.Fatal("kinetic served nothing")
+	}
+}
+
+func TestBatchServesAndStaysFeasible(t *testing.T) {
+	w := newWorld(t, 9, 12, 200, 1000)
+	b := NewBatch(w.fleet, 1)
+	if b.Name() != "batch" {
+		t.Fatal("name")
+	}
+	served, rejected := run(t, w, b)
+	if served == 0 {
+		t.Fatal("batch served nothing")
+	}
+	if served+rejected != len(w.inst.Requests) {
+		t.Fatalf("batch lost requests: %d+%d != %d", served, rejected, len(w.inst.Requests))
+	}
+}
+
+// TestKineticAtLeastAsGoodAsInsertion: on a single worker, kinetic's full
+// reordering must never increase distance more than order-preserving
+// insertion for the same request sequence served one by one.
+func TestKineticAtLeastAsGoodAsInsertion(t *testing.T) {
+	w := newWorld(t, 11, 1, 60, 2000)
+	rng := rand.New(rand.NewSource(2))
+	_ = rng
+	k := NewKinetic(w.fleet, 1)
+	wk := w.fleet.Workers[0]
+	for i, r := range w.inst.Requests {
+		if len(wk.Route.Stops) > 6 {
+			break // keep the DFS small
+		}
+		L := w.dist(r.Origin, r.Dest)
+		ins := core.LinearDPInsertion(&wk.Route, wk.Capacity, r, L, w.dist)
+		order, total, ok := k.bestOrdering(&wk.Route, wk.Capacity, r, L)
+		if ins.OK {
+			if !ok {
+				t.Fatalf("req %d: insertion feasible but kinetic found nothing", i)
+			}
+			delta := total - wk.Route.RemainingDist()
+			if delta > ins.Delta+1e-5*(1+ins.Delta) {
+				t.Fatalf("req %d: kinetic delta %v worse than insertion %v", i, delta, ins.Delta)
+			}
+		}
+		if ok {
+			k.install(&wk.Route, order)
+			if err := wk.Route.Validate(wk.Capacity, w.dist); err != nil {
+				t.Fatalf("req %d: kinetic route invalid: %v", i, err)
+			}
+		}
+	}
+	if len(wk.Route.Stops) == 0 {
+		t.Fatal("kinetic never accepted anything; test vacuous")
+	}
+}
+
+// TestKineticNodeBudget: with a tiny budget the search degrades gracefully
+// (serves less or equal, never crashes, routes remain valid).
+func TestKineticNodeBudget(t *testing.T) {
+	w := newWorld(t, 13, 10, 120, 1000)
+	k := NewKinetic(w.fleet, 1)
+	k.MaxNodes = 50
+	served, _ := run(t, w, k)
+	_ = served // any outcome is fine as long as routes validate (done in run)
+}
+
+// TestBatchWindowing: requests inside one window are decided together; the
+// planner defers and later reports exactly one result per request.
+func TestBatchWindowing(t *testing.T) {
+	w := newWorld(t, 15, 8, 0, 1000)
+	b := NewBatch(w.fleet, 1)
+	b.WindowSec = 30
+	reqs := make([]*core.Request, 6)
+	rng := rand.New(rand.NewSource(4))
+	n := w.g.NumVertices()
+	for i := range reqs {
+		o := roadnet.VertexID(rng.Intn(n))
+		d := roadnet.VertexID(rng.Intn(n))
+		for d == o {
+			d = roadnet.VertexID(rng.Intn(n))
+		}
+		reqs[i] = &core.Request{
+			ID: core.RequestID(i), Origin: o, Dest: d,
+			Release: float64(i) * 10, Deadline: float64(i)*10 + 1200,
+			Penalty: 1e6, Capacity: 1,
+		}
+	}
+	decided := 0
+	for _, r := range reqs {
+		res := b.OnRequest(r.Release, r)
+		if !res.Deferred {
+			t.Fatal("batch must defer")
+		}
+		decided += len(b.TakeDecided())
+	}
+	// Releases span 0..50 with a 30s window: at least one interior flush.
+	if decided == 0 {
+		t.Fatal("no interior window flush happened")
+	}
+	b.FlushAll(60)
+	decided += len(b.TakeDecided())
+	if decided != len(reqs) {
+		t.Fatalf("decided %d of %d", decided, len(reqs))
+	}
+}
+
+// TestBatchGrouping checks the shareability grouping respects radius and
+// size limits.
+func TestBatchGrouping(t *testing.T) {
+	w := newWorld(t, 17, 4, 0, 1000)
+	b := NewBatch(w.fleet, 1)
+	b.MaxGroup = 2
+	b.GroupRadiusMeters = 1e9 // everything shareable
+	var reqs []*core.Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, &core.Request{ID: core.RequestID(i), Origin: 0, Dest: 1, Deadline: 1e6, Capacity: 1})
+	}
+	groups := b.group(reqs)
+	if len(groups) != 3 {
+		t.Fatalf("groups=%d want 3 (2+2+1)", len(groups))
+	}
+	for _, g := range groups {
+		if len(g) > 2 {
+			t.Fatal("group size cap violated")
+		}
+	}
+	b.GroupRadiusMeters = 0.5
+	groups = b.group(reqs)
+	if len(groups) != 5 && w.g.Point(0).Dist(w.g.Point(0)) == 0 {
+		// radius 0.5 m still groups identical origins; all origins equal
+		// here, so 3 groups again.
+		if len(groups) != 3 {
+			t.Fatalf("identical origins should still group: %d", len(groups))
+		}
+	}
+}
+
+// TestTShareSearchIsLazy: tshare must consider no more candidates than the
+// full grid candidate filter would return.
+func TestTShareSearchIsLazy(t *testing.T) {
+	w := newWorld(t, 19, 40, 80, 800)
+	ts, err := NewTShare(w.fleet, 800, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servedTS, _ := run(t, w, ts)
+	// Against the full-scan pruneGreedyDP on a fresh identical world:
+	w2 := newWorld(t, 19, 40, 80, 800)
+	pg := core.NewPruneGreedyDP(w2.fleet, 1)
+	servedPG, _ := run(t, w2, pg)
+	if servedTS > servedPG {
+		t.Fatalf("tshare served %d > pruneGreedyDP %d; lazy search should not win", servedTS, servedPG)
+	}
+}
+
+func TestUnifiedCostOrdering(t *testing.T) {
+	// pruneGreedyDP should achieve unified cost no worse than tshare on
+	// the same instance (the paper's headline effectiveness result).
+	cost := func(mk func(f *core.Fleet) core.Planner) float64 {
+		w := newWorld(t, 23, 20, 300, 1000)
+		p := mk(w.fleet)
+		var rejected []*core.Request
+		for _, r := range w.inst.Requests {
+			res := p.OnRequest(r.Release, r)
+			if res.Deferred {
+				continue
+			}
+			if !res.Served {
+				rejected = append(rejected, r)
+			}
+		}
+		if d, ok := p.(core.Deferring); ok {
+			d.FlushAll(1e18)
+			for _, dr := range d.TakeDecided() {
+				if !dr.Result.Served {
+					rejected = append(rejected, dr.Req)
+				}
+			}
+		}
+		return core.UnifiedCost(1, w.fleet, rejected)
+	}
+	ucPG := cost(func(f *core.Fleet) core.Planner { return core.NewPruneGreedyDP(f, 1) })
+	ucTS := cost(func(f *core.Fleet) core.Planner {
+		ts, err := NewTShare(f, 1000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	})
+	if ucPG > ucTS*1.05 {
+		t.Fatalf("pruneGreedyDP UC %v should not exceed tshare %v", ucPG, ucTS)
+	}
+	if math.IsNaN(ucPG) || math.IsNaN(ucTS) {
+		t.Fatal("NaN unified cost")
+	}
+}

@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Batch reimplements the batch-assignment approach of Alonso-Mora et al.
+// as characterized in the paper (§2, §6.1): requests are collected into a
+// short time window, grouped by shareability, the groups are sorted, and
+// each group is greedily assigned to the worker that can serve the most of
+// its requests with the minimal increased distance, via insertion.
+//
+// Decisions for batched requests are deferred until the window closes, so
+// Batch implements core.Flusher; the simulator collects deferred results.
+type Batch struct {
+	fleet *core.Fleet
+	alpha float64
+	// WindowSec is the batching window (Alonso-Mora uses ~6 s windows).
+	WindowSec float64
+	// GroupRadiusMeters bounds the origin spread within a group.
+	GroupRadiusMeters float64
+	// MaxGroup bounds the group size.
+	MaxGroup int
+
+	pending     []*core.Request
+	windowStart float64
+	results     []core.DeferredResult
+}
+
+// NewBatch returns the planner with the paper-scale defaults.
+func NewBatch(fleet *core.Fleet, alpha float64) *Batch {
+	return &Batch{
+		fleet:             fleet,
+		alpha:             alpha,
+		WindowSec:         6,
+		GroupRadiusMeters: 800,
+		MaxGroup:          3,
+	}
+}
+
+// Name implements core.Planner.
+func (b *Batch) Name() string { return "batch" }
+
+// OnRequest implements core.Planner. Requests are queued; when a request
+// arrives past the current window, the window is flushed first. The
+// result for a deferred request is reported through Flush, so OnRequest
+// returns the queued request's eventual result only when the request
+// itself triggered a flush that decided it — otherwise a non-served
+// placeholder that the simulator corrects from the deferred results.
+func (b *Batch) OnRequest(now float64, req *core.Request) core.Result {
+	if len(b.pending) == 0 {
+		b.windowStart = now
+	} else if now-b.windowStart >= b.WindowSec {
+		b.flushWindow(now)
+		b.windowStart = now
+	}
+	b.pending = append(b.pending, req)
+	return core.Result{Deferred: true}
+}
+
+// TakeDecided implements core.Deferring.
+func (b *Batch) TakeDecided() []core.DeferredResult {
+	out := b.results
+	b.results = nil
+	return out
+}
+
+// FlushAll implements core.Deferring: decide everything still pending.
+func (b *Batch) FlushAll(now float64) {
+	b.flushWindow(now)
+}
+
+// flushWindow assigns all pending requests.
+func (b *Batch) flushWindow(now float64) {
+	if len(b.pending) == 0 {
+		return
+	}
+	groups := b.group(b.pending)
+	b.pending = nil
+	// "sorts the groups": larger groups first, ties by earliest release.
+	sort.SliceStable(groups, func(i, j int) bool {
+		if len(groups[i]) != len(groups[j]) {
+			return len(groups[i]) > len(groups[j])
+		}
+		return groups[i][0].Release < groups[j][0].Release
+	})
+	for _, grp := range groups {
+		b.assignGroup(now, grp)
+	}
+}
+
+// group partitions requests into shareable groups: same window, origins
+// within GroupRadiusMeters of the group's first origin, at most MaxGroup.
+func (b *Batch) group(reqs []*core.Request) [][]*core.Request {
+	var groups [][]*core.Request
+	g := b.fleet.Graph
+	for _, r := range reqs {
+		placed := false
+		for gi, grp := range groups {
+			if len(grp) >= b.MaxGroup {
+				continue
+			}
+			anchor := grp[0]
+			if g.Point(anchor.Origin).Dist(g.Point(r.Origin)) <= b.GroupRadiusMeters {
+				groups[gi] = append(grp, r)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []*core.Request{r})
+		}
+	}
+	return groups
+}
+
+// assignGroup finds the worker that can serve the most requests of the
+// group with the minimal summed increased distance, applies the chosen
+// insertions, and records per-request results.
+func (b *Batch) assignGroup(now float64, grp []*core.Request) {
+	f := b.fleet
+
+	// Candidate workers: union of per-request grid candidates.
+	seen := map[core.WorkerID]bool{}
+	var cands []*core.Worker
+	ls := make([]float64, len(grp))
+	for i, r := range grp {
+		ls[i] = f.Dist(r.Origin, r.Dest)
+		for _, w := range f.Candidates(r, now, ls[i]) {
+			if !seen[w.ID] {
+				seen[w.ID] = true
+				cands = append(cands, w)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		for _, r := range grp {
+			b.results = append(b.results, core.DeferredResult{Req: r, Result: core.Result{}})
+		}
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+
+	type plan struct {
+		served []bool
+		inss   []core.Insertion
+		count  int
+		delta  float64
+	}
+	var bestW *core.Worker
+	var bestPlan plan
+	for _, w := range cands {
+		trial := w.Route.Clone()
+		p := plan{served: make([]bool, len(grp)), inss: make([]core.Insertion, len(grp))}
+		for i, r := range grp {
+			ins := core.BasicInsertion(&trial, w.Capacity, r, f.Dist)
+			if !ins.OK || b.alpha*ins.Delta > r.Penalty {
+				continue
+			}
+			if err := core.Apply(&trial, w.Capacity, r, ins, ls[i], f.Dist); err != nil {
+				panic(err)
+			}
+			p.served[i] = true
+			p.inss[i] = ins
+			p.count++
+			p.delta += ins.Delta
+		}
+		if p.count == 0 {
+			continue
+		}
+		if bestW == nil || p.count > bestPlan.count ||
+			(p.count == bestPlan.count && p.delta < bestPlan.delta) {
+			bestW = w
+			bestPlan = p
+		}
+	}
+	if bestW == nil {
+		for _, r := range grp {
+			b.results = append(b.results, core.DeferredResult{Req: r, Result: core.Result{}})
+		}
+		return
+	}
+	// Re-apply the winning plan to the real route, in order.
+	for i, r := range grp {
+		if !bestPlan.served[i] {
+			b.results = append(b.results, core.DeferredResult{Req: r, Result: core.Result{}})
+			continue
+		}
+		ins := bestPlan.inss[i]
+		if err := core.Apply(&bestW.Route, bestW.Capacity, r, ins, ls[i], f.Dist); err != nil {
+			panic(err)
+		}
+		b.results = append(b.results, core.DeferredResult{
+			Req:    r,
+			Result: core.Result{Served: true, Worker: bestW.ID, Delta: ins.Delta},
+		})
+	}
+}

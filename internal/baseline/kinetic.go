@@ -1,0 +1,216 @@
+package baseline
+
+import "repro/internal/core"
+
+// Kinetic reimplements the kinetic-tree approach of Huang et al.: for each
+// candidate worker it explores every feasible ordering of the worker's
+// pending stops plus the new request's pickup and drop-off, keeping the
+// ordering with the minimal total travel time. This is strictly more
+// powerful per request than order-preserving insertion — and exponential
+// in the number of pending stops, which is exactly why the paper observes
+// kinetic failing to halt for large worker capacities ((2K_w)! orderings).
+//
+// The search is a depth-first branch-and-bound over the "kinetic tree":
+// nodes are partial orderings, children are the feasible next stops,
+// pruned by deadline, capacity and the best complete cost found so far.
+// MaxNodes caps the exploration per (worker, request) pair; on budget
+// exhaustion the best ordering found so far is used (anytime behavior),
+// mirroring how a real deployment must bound kinetic's latency.
+type Kinetic struct {
+	fleet    *core.Fleet
+	alpha    float64
+	MaxNodes int
+
+	// scratch state for the DFS
+	stops []core.Stop
+	used  []bool
+	order []int16
+	best  []int16
+	nodes int
+	bound float64
+	kw    int
+}
+
+// NewKinetic returns the planner with the default node budget.
+func NewKinetic(fleet *core.Fleet, alpha float64) *Kinetic {
+	return &Kinetic{fleet: fleet, alpha: alpha, MaxNodes: 50000}
+}
+
+// Name implements core.Planner.
+func (k *Kinetic) Name() string { return "kinetic" }
+
+// OnRequest implements core.Planner.
+func (k *Kinetic) OnRequest(now float64, req *core.Request) core.Result {
+	f := k.fleet
+	L := f.Dist(req.Origin, req.Dest)
+	cands := f.Candidates(req, now, L)
+	if len(cands) == 0 {
+		return core.Result{}
+	}
+	// URPSM adaptation: the same decision-phase rejection as the paper
+	// applies to all compared algorithms (see its Fig. 7 discussion).
+	lbs, reject := core.Decide(k.alpha, cands, req, f.Graph, L)
+	if reject {
+		return core.Result{}
+	}
+
+	var bestW *core.Worker
+	bestDelta := 0.0
+	var bestOrder []core.Stop
+	found := false
+	for _, wb := range lbs {
+		w := wb.Worker
+		order, total, ok := k.bestOrdering(&w.Route, w.Capacity, req, L)
+		if !ok {
+			continue
+		}
+		delta := total - w.Route.RemainingDist()
+		if !found || delta < bestDelta || (delta == bestDelta && w.ID < bestW.ID) {
+			found = true
+			bestW = w
+			bestDelta = delta
+			bestOrder = order
+		}
+	}
+	if !found {
+		return core.Result{}
+	}
+	if k.alpha*bestDelta > req.Penalty {
+		return core.Result{}
+	}
+	k.install(&bestW.Route, bestOrder)
+	return core.Result{Served: true, Worker: bestW.ID, Delta: bestDelta}
+}
+
+// bestOrdering searches all feasible orderings of rt.Stops plus req's two
+// stops, returning the cheapest complete ordering and its total remaining
+// travel time.
+func (k *Kinetic) bestOrdering(rt *core.Route, kw int, req *core.Request, L float64) ([]core.Stop, float64, bool) {
+	if req.Capacity > kw {
+		return nil, 0, false
+	}
+	k.stops = k.stops[:0]
+	k.stops = append(k.stops, rt.Stops...)
+	k.stops = append(k.stops,
+		core.Stop{Vertex: req.Origin, Kind: core.Pickup, Req: req.ID, Cap: req.Capacity, DDL: req.Deadline - L},
+		core.Stop{Vertex: req.Dest, Kind: core.Dropoff, Req: req.ID, Cap: req.Capacity, DDL: req.Deadline},
+	)
+	n := len(k.stops)
+	if cap(k.used) < n {
+		k.used = make([]bool, n)
+		k.order = make([]int16, 0, n)
+		k.best = make([]int16, 0, n)
+	}
+	k.used = k.used[:n]
+	for i := range k.used {
+		k.used[i] = false
+	}
+	k.order = k.order[:0]
+	k.best = k.best[:0]
+	k.nodes = 0
+	k.bound = inf
+	k.kw = kw
+	k.dfs(rt.Loc, rt.Now, rt.Onboard, 0, rt.Now)
+	if len(k.best) != n {
+		return nil, 0, false
+	}
+	out := make([]core.Stop, n)
+	for i, idx := range k.best {
+		out[i] = k.stops[idx]
+	}
+	return out, k.bound, true
+}
+
+const inf = 1e18
+
+// dfs extends the partial ordering. loc/t/load describe the state after
+// the placed prefix; placed counts placed stops; start is the route's Now
+// (so cost-so-far = t − start).
+func (k *Kinetic) dfs(loc int32, t float64, load, placed int, start float64) {
+	if k.nodes >= k.MaxNodes {
+		return
+	}
+	k.nodes++
+	if t-start >= k.bound {
+		return // cannot beat the best complete ordering
+	}
+	n := len(k.stops)
+	if placed == n {
+		k.bound = t - start
+		k.best = append(k.best[:0], k.order...)
+		return
+	}
+	// Expand children nearest-first so good complete orderings are found
+	// early, tightening the bound for the rest of the search. A local
+	// fixed buffer plus insertion sort keeps the hot DFS allocation-free.
+	type child struct {
+		idx int16
+		d   float64
+	}
+	var buf [64]child
+	children := buf[:0]
+	for i := 0; i < n; i++ {
+		if k.used[i] {
+			continue
+		}
+		s := k.stops[i]
+		if s.Kind == core.Dropoff && k.pickupPending(s.Req) {
+			continue // precedence: its pickup is not placed yet
+		}
+		if s.Kind == core.Pickup && load+s.Cap > k.kw {
+			continue // capacity
+		}
+		d := k.fleet.Dist(loc, s.Vertex)
+		if t+d > s.DDL+1e-6 {
+			continue // deadline
+		}
+		if len(children) == cap(children) {
+			continue // beyond any realistic pending-stop count
+		}
+		c := child{idx: int16(i), d: d}
+		j := len(children)
+		children = children[:j+1]
+		for j > 0 && (children[j-1].d > c.d ||
+			(children[j-1].d == c.d && children[j-1].idx > c.idx)) {
+			children[j] = children[j-1]
+			j--
+		}
+		children[j] = c
+	}
+	for _, c := range children {
+		i := int(c.idx)
+		s := k.stops[i]
+		k.used[i] = true
+		k.order = append(k.order, c.idx)
+		load2 := load
+		if s.Kind == core.Pickup {
+			load2 += s.Cap
+		} else {
+			load2 -= s.Cap
+		}
+		k.dfs(s.Vertex, t+c.d, load2, placed+1, start)
+		k.order = k.order[:len(k.order)-1]
+		k.used[i] = false
+		if k.nodes >= k.MaxNodes {
+			return
+		}
+	}
+}
+
+// pickupPending reports whether the pickup of request id is among the
+// unplaced stops (then its drop-off may not be placed yet).
+func (k *Kinetic) pickupPending(id core.RequestID) bool {
+	for i, s := range k.stops {
+		if s.Req == id && s.Kind == core.Pickup && !k.used[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// install replaces the route's stop sequence with the chosen ordering and
+// rebuilds the arrival cache.
+func (k *Kinetic) install(rt *core.Route, order []core.Stop) {
+	rt.Stops = order
+	rt.Recompute(k.fleet.Dist)
+}

@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// permuteAll enumerates every ordering of stops, returning the minimal
+// total remaining travel time among feasible ones — the brute-force
+// ground truth for the kinetic tree's branch-and-bound.
+func permuteAll(rt *core.Route, kw int, stops []core.Stop, dist core.DistFunc) (float64, bool) {
+	n := len(stops)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(loc int32, t float64, load, placed int)
+	rec = func(loc int32, t float64, load, placed int) {
+		if t-rt.Now >= best {
+			return
+		}
+		if placed == n {
+			best = t - rt.Now
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			s := stops[i]
+			if s.Kind == core.Dropoff {
+				// Precedence: pickup (if present among stops) must be placed.
+				pending := false
+				for j, p := range stops {
+					if p.Req == s.Req && p.Kind == core.Pickup && !used[j] {
+						pending = true
+						break
+					}
+				}
+				if pending {
+					continue
+				}
+			}
+			load2 := load
+			if s.Kind == core.Pickup {
+				load2 += s.Cap
+				if load2 > kw {
+					continue
+				}
+			} else {
+				load2 -= s.Cap
+			}
+			d := dist(loc, s.Vertex)
+			if t+d > s.DDL+1e-6 {
+				continue
+			}
+			used[i] = true
+			rec(s.Vertex, t+d, load2, placed+1)
+			used[i] = false
+		}
+	}
+	rec(rt.Loc, rt.Now, rt.Onboard, 0)
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+// TestKineticMatchesExhaustive validates the branch-and-bound against
+// full permutation enumeration on hundreds of random small instances.
+func TestKineticMatchesExhaustive(t *testing.T) {
+	w := newWorld(t, 31, 1, 0, 2000)
+	k := NewKinetic(w.fleet, 1)
+	rng := rand.New(rand.NewSource(9))
+	n := w.g.NumVertices()
+	trials := 300
+	if testing.Short() {
+		trials = 60
+	}
+	checked := 0
+	for trial := 0; trial < trials; trial++ {
+		// Random feasible route with up to 2 pending requests.
+		wk := w.fleet.Workers[0]
+		wk.Route = core.Route{Loc: int32(rng.Intn(n)), Now: rng.Float64() * 100}
+		for added := 0; added < rng.Intn(3); added++ {
+			r := randomReq(rng, n, w.dist, wk.Route.Now, core.RequestID(100+added))
+			L := w.dist(r.Origin, r.Dest)
+			ins := core.LinearDPInsertion(&wk.Route, wk.Capacity, r, L, w.dist)
+			if ins.OK {
+				if err := core.Apply(&wk.Route, wk.Capacity, r, ins, L, w.dist); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		req := randomReq(rng, n, w.dist, wk.Route.Now, 999)
+		if rng.Intn(3) == 0 {
+			req.Deadline = wk.Route.Now + w.dist(req.Origin, req.Dest)*(1+rng.Float64()*0.3)
+		}
+		L := w.dist(req.Origin, req.Dest)
+
+		order, total, ok := k.bestOrdering(&wk.Route, wk.Capacity, req, L)
+
+		all := append(append([]core.Stop(nil), wk.Route.Stops...),
+			core.Stop{Vertex: req.Origin, Kind: core.Pickup, Req: req.ID, Cap: req.Capacity, DDL: req.Deadline - L},
+			core.Stop{Vertex: req.Dest, Kind: core.Dropoff, Req: req.ID, Cap: req.Capacity, DDL: req.Deadline},
+		)
+		want, wantOK := permuteAll(&wk.Route, wk.Capacity, all, w.dist)
+
+		if ok != wantOK {
+			t.Fatalf("trial %d: kinetic feasible=%v exhaustive=%v", trial, ok, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		checked++
+		if math.Abs(total-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: kinetic total %v != exhaustive %v", trial, total, want)
+		}
+		if len(order) != len(all) {
+			t.Fatalf("trial %d: ordering has %d stops want %d", trial, len(order), len(all))
+		}
+	}
+	if checked < trials/3 {
+		t.Fatalf("only %d/%d trials feasible", checked, trials)
+	}
+}
+
+func randomReq(rng *rand.Rand, n int, dist core.DistFunc, now float64, id core.RequestID) *core.Request {
+	o := int32(rng.Intn(n))
+	d := int32(rng.Intn(n))
+	for d == o {
+		d = int32(rng.Intn(n))
+	}
+	L := dist(o, d)
+	return &core.Request{
+		ID: id, Origin: o, Dest: d,
+		Release:  now,
+		Deadline: now + L + 120 + rng.Float64()*900,
+		Penalty:  10 * L,
+		Capacity: 1 + rng.Intn(2),
+	}
+}

@@ -1,0 +1,114 @@
+// Package baseline implements the three compared algorithms of the
+// paper's §6.1 — tshare (T-Share, Ma et al. ICDE'13), kinetic (Huang et
+// al. VLDB'14) and batch (Alonso-Mora et al. PNAS'17) — at the fidelity
+// the paper's comparison requires: all adapted to the URPSM setting (they
+// may reject requests, paying the penalty) and all running against the
+// same fleet, grid and distance oracle as pruneGreedyDP.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/spatial"
+)
+
+// TShare reimplements T-Share's candidate search: a grid whose cells carry
+// pre-sorted lists of all other cells by center distance ("spatially
+// ordered grid lists"), scanned lazily outward from the request's origin.
+// The search stops as soon as the first non-empty ring of cells has been
+// consumed — T-Share's "lazy" single-side shortcut — which makes it very
+// fast but prone to discarding feasible workers, reproducing the paper's
+// observation that tshare has the fastest response yet the lowest served
+// rate and highest unified cost. Insertion is the basic O(n³) operator
+// ("applies basic insertion to find a worker with minimal increased
+// distance").
+type TShare struct {
+	fleet *core.Fleet
+	grid  *spatial.TShareGrid
+	alpha float64
+}
+
+// NewTShare builds the planner and its T-Share grid with the given cell
+// size in meters (the experiment's g parameter). The fleet's own grid must
+// use the same cell size so cell indices coincide; worker positions are
+// read from the fleet grid, the T-Share grid contributes the sorted lists.
+func NewTShare(fleet *core.Fleet, cellMeters, alpha float64) (*TShare, error) {
+	tg, err := spatial.NewTShareGrid(fleet.Graph.Bounds(), cellMeters)
+	if err != nil {
+		return nil, err
+	}
+	return &TShare{fleet: fleet, grid: tg, alpha: alpha}, nil
+}
+
+// Name implements core.Planner.
+func (t *TShare) Name() string { return "tshare" }
+
+// GridMemoryBytes reports the sorted-list index footprint (Fig. 5's
+// memory metric).
+func (t *TShare) GridMemoryBytes() int64 { return t.grid.MemoryBytes() }
+
+// OnRequest implements core.Planner.
+func (t *TShare) OnRequest(now float64, req *core.Request) core.Result {
+	f := t.fleet
+	L := f.Dist(req.Origin, req.Dest)
+	budget := req.Deadline - L - now
+	if budget < 0 {
+		return core.Result{}
+	}
+	radius := budget * geo.MaxSpeed()
+	origin := f.Graph.Point(req.Origin)
+
+	// Lazy outward scan over the pre-sorted cell list: stop once the ring
+	// that produced the first candidates is exhausted, or the reachable
+	// radius is exceeded.
+	var cands []*core.Worker
+	cells := t.grid.CellsByDistance(origin)
+	cellR := t.grid.CellRadius()
+	stopAt := math.Inf(1)
+	for _, c := range cells {
+		d := origin.Dist(t.grid.CellCenter(int(c)))
+		if d-cellR > radius || d > stopAt {
+			break
+		}
+		f.Grid.ItemsInCell(int(c), func(id spatial.ItemID, _ geo.Point) bool {
+			cands = append(cands, f.Workers[id])
+			return true
+		})
+		if len(cands) > 0 && math.IsInf(stopAt, 1) {
+			// Finish the current ring (cells at indistinguishable center
+			// distance) and then stop: T-Share's early termination.
+			stopAt = d + cellR
+		}
+	}
+	if len(cands) == 0 {
+		return core.Result{}
+	}
+
+	var bestW *core.Worker
+	best := core.Infeasible
+	for _, w := range cands {
+		ins := core.BasicInsertion(&w.Route, w.Capacity, req, f.Dist)
+		if !ins.OK {
+			continue
+		}
+		if bestW == nil || ins.Delta < best.Delta ||
+			(ins.Delta == best.Delta && w.ID < bestW.ID) {
+			bestW = w
+			best = ins
+		}
+	}
+	if bestW == nil {
+		return core.Result{}
+	}
+	if t.alpha*best.Delta > req.Penalty {
+		// URPSM adaptation: serving at a cost above the penalty would
+		// only raise the unified cost.
+		return core.Result{}
+	}
+	if err := core.Apply(&bestW.Route, bestW.Capacity, req, best, L, f.Dist); err != nil {
+		panic(err)
+	}
+	return core.Result{Served: true, Worker: bestW.ID, Delta: best.Delta}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// LowerBoundInsertion computes LBΔ* (Lemma 7, Eq. 15–17): a lower bound on
+// the minimal increased distance of inserting req into rt, using Euclidean
+// travel-time lower bounds for every distance involving o_r or d_r and the
+// cached arrival times for consecutive-stop distances. It performs zero
+// shortest-distance queries; the caller supplies the single query the
+// decision phase needs, L = dis(o_r, d_r).
+//
+// The bound is obtained by running the same linear DP as the exact
+// operator on optimistic distances: every really-feasible insertion stays
+// feasible under the relaxation and every candidate value can only shrink,
+// so the minimum is a valid lower bound. +Inf means no insertion can be
+// feasible even optimistically.
+func LowerBoundInsertion(rt *Route, kw int, req *Request, g *roadnet.Graph, L float64) float64 {
+	c := newInsCtx(rt, kw, req, L)
+	c.fillEuclid(g)
+	ins := linearDP(c)
+	if !ins.OK {
+		return math.Inf(1)
+	}
+	// Euclidean "detours" can be negative; the true Δ* is never below 0.
+	return math.Max(0, ins.Delta)
+}
+
+// WorkerBound pairs a worker with its decision-phase lower bound.
+type WorkerBound struct {
+	LB     float64
+	Worker *Worker
+}
+
+// Decide is Algorithm 4: compute LBΔ* for every candidate worker and
+// report whether the request should be rejected outright because even the
+// optimistic cost α·min LB exceeds the penalty. The returned slice feeds
+// the planning phase (it is not yet sorted; pruneGreedyDP sorts it,
+// GreedyDP does not need to).
+func Decide(alpha float64, cands []*Worker, req *Request, g *roadnet.Graph, L float64) (lbs []WorkerBound, reject bool) {
+	lbs = make([]WorkerBound, 0, len(cands))
+	minLB := math.Inf(1)
+	for _, w := range cands {
+		lb := LowerBoundInsertion(&w.Route, w.Capacity, req, g, L)
+		if math.IsInf(lb, 1) {
+			continue // provably infeasible for this worker
+		}
+		lbs = append(lbs, WorkerBound{LB: lb, Worker: w})
+		if lb < minLB {
+			minLB = lb
+		}
+	}
+	if len(lbs) == 0 {
+		return nil, true
+	}
+	// Reject when p_r < α·min LB (Algorithm 4 line 5): serving would
+	// increase the unified cost more than rejecting.
+	return lbs, req.Penalty < alpha*minLB
+}

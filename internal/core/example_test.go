@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+)
+
+// Example walks the full single-worker pipeline on a hand-checkable line
+// graph: 6 vertices spaced 10 seconds apart.
+func Example() {
+	g, err := roadnet.LineGraph(6, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := shortest.BuildHubLabels(g)
+	dist := core.DistFunc(oracle.Dist)
+
+	taxi := &core.Worker{ID: 0, Capacity: 4, Route: core.Route{Loc: 0, Now: 0}}
+
+	// Ride from vertex 1 to vertex 4: 30 s of driving after a 10 s
+	// approach, so any deadline ≥ 40 is feasible.
+	req := &core.Request{ID: 1, Origin: 1, Dest: 4, Release: 0, Deadline: 100, Penalty: 500, Capacity: 1}
+	L := dist(req.Origin, req.Dest)
+	ins := core.LinearDPInsertion(&taxi.Route, taxi.Capacity, req, L, dist)
+	fmt.Printf("feasible=%v delta=%.0fs positions=(%d,%d)\n", ins.OK, ins.Delta, ins.I, ins.J)
+
+	if err := core.Apply(&taxi.Route, taxi.Capacity, req, ins, L, dist); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stops=%d planned=%.0fs\n", taxi.Route.Len(), taxi.Route.RemainingDist())
+	// Output:
+	// feasible=true delta=40s positions=(0,0)
+	// stops=2 planned=40s
+}
+
+// ExampleLowerBoundInsertion shows the decision phase's zero-query bound:
+// it never exceeds the exact insertion cost.
+func ExampleLowerBoundInsertion() {
+	g, err := roadnet.LineGraph(6, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := shortest.BuildHubLabels(g)
+	dist := core.DistFunc(oracle.Dist)
+
+	rt := core.Route{Loc: 0, Now: 0}
+	req := &core.Request{ID: 1, Origin: 2, Dest: 5, Release: 0, Deadline: 500, Penalty: 100, Capacity: 1}
+	L := dist(req.Origin, req.Dest)
+
+	lb := core.LowerBoundInsertion(&rt, 4, req, g, L)
+	exact := core.LinearDPInsertion(&rt, 4, req, L, dist)
+	fmt.Printf("bound<=exact: %v\n", lb <= exact.Delta)
+	// Output:
+	// bound<=exact: true
+}
+
+// ExampleUnifiedCost evaluates Eq. 1 directly.
+func ExampleUnifiedCost() {
+	g, err := roadnet.LineGraph(4, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := shortest.BuildHubLabels(g)
+	workers := []*core.Worker{
+		{ID: 0, Capacity: 4, Route: core.Route{Loc: 0}, Traveled: 100},
+	}
+	fleet, err := core.NewFleet(g, oracle.Dist, workers, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rejected := []*core.Request{{ID: 7, Penalty: 25}}
+	// UC = α·ΣD(S_w) + Σ penalties = 1·100 + 25.
+	fmt.Printf("UC=%.0f\n", core.UnifiedCost(1, fleet, rejected))
+	// Output:
+	// UC=125
+}

@@ -1,0 +1,136 @@
+package core
+
+// This file implements a route-improvement extension beyond the paper's
+// Algorithm 5. Insertion is order-preserving, so early commitments can
+// become suboptimal as later requests arrive; the classic remedy —
+// and the direction the paper's conclusion points to — is local search:
+// repeatedly remove one request from a route and re-insert it optimally
+// with the same linear DP operator. Every accepted move strictly reduces
+// D(S_w) while preserving all URPSM constraints, so the unified cost can
+// only improve. The ablation "pruneGreedyDP+improve" quantifies the gain.
+
+// RemoveRequest deletes request id's pickup and drop-off from the route
+// and rebuilds the arrival cache (O(n) distance queries). It returns a
+// reconstruction of the removed request (penalty/release are not stored
+// in routes and are zeroed) and false when the request is not fully
+// on the route (e.g. the passenger is already on board: such requests
+// cannot be re-planned because their pickup already happened).
+func RemoveRequest(rt *Route, id RequestID, dist DistFunc) (Request, bool) {
+	pickupIdx, dropIdx := -1, -1
+	for i, s := range rt.Stops {
+		if s.Req != id {
+			continue
+		}
+		if s.Kind == Pickup {
+			pickupIdx = i
+		} else {
+			dropIdx = i
+		}
+	}
+	if pickupIdx < 0 || dropIdx < 0 {
+		return Request{}, false
+	}
+	req := Request{
+		ID:       id,
+		Origin:   rt.Stops[pickupIdx].Vertex,
+		Dest:     rt.Stops[dropIdx].Vertex,
+		Deadline: rt.Stops[dropIdx].DDL,
+		Capacity: rt.Stops[dropIdx].Cap,
+	}
+	kept := rt.Stops[:0]
+	for _, s := range rt.Stops {
+		if s.Req != id {
+			kept = append(kept, s)
+		}
+	}
+	rt.Stops = kept
+	rt.Recompute(dist)
+	return req, true
+}
+
+// ImproveRoute runs remove-and-reinsert local search on one route:
+// up to maxRounds passes over all re-plannable requests, re-inserting
+// each at its current optimum. It returns the total travel-time saving
+// (≥ 0). The route remains feasible after every accepted move.
+func ImproveRoute(rt *Route, kw int, dist DistFunc, maxRounds int) float64 {
+	if maxRounds < 1 || rt.Len() < 4 {
+		return 0 // fewer than two requests: nothing to reorder
+	}
+	totalSaved := 0.0
+	for round := 0; round < maxRounds; round++ {
+		improvedThisRound := false
+		for _, id := range replannableRequests(rt) {
+			before := rt.RemainingDist()
+			trial := rt.Clone()
+			req, ok := RemoveRequest(&trial, id, dist)
+			if !ok {
+				continue
+			}
+			L := dist(req.Origin, req.Dest)
+			ins := LinearDPInsertion(&trial, kw, &req, L, dist)
+			if !ins.OK {
+				continue // should not happen (its old slots still exist)
+			}
+			if err := Apply(&trial, kw, &req, ins, L, dist); err != nil {
+				continue
+			}
+			if after := trial.RemainingDist(); after < before-feasEps {
+				totalSaved += before - after
+				*rt = trial
+				improvedThisRound = true
+			}
+		}
+		if !improvedThisRound {
+			break
+		}
+	}
+	return totalSaved
+}
+
+// replannableRequests lists requests whose pickup and drop-off are both
+// still pending on the route.
+func replannableRequests(rt *Route) []RequestID {
+	pick := map[RequestID]bool{}
+	var order []RequestID
+	for _, s := range rt.Stops {
+		if s.Kind == Pickup {
+			pick[s.Req] = true
+		}
+	}
+	seen := map[RequestID]bool{}
+	for _, s := range rt.Stops {
+		if s.Kind == Dropoff && pick[s.Req] && !seen[s.Req] {
+			seen[s.Req] = true
+			order = append(order, s.Req)
+		}
+	}
+	return order
+}
+
+// ImprovingGreedy wraps a Greedy planner with a post-insertion
+// improvement pass on the worker that received the request.
+type ImprovingGreedy struct {
+	*Greedy
+	// Rounds bounds the local-search passes per assignment.
+	Rounds int
+	// Saved accumulates the total travel time removed by improvement.
+	Saved float64
+}
+
+// NewImprovingGreedy returns pruneGreedyDP plus local search.
+func NewImprovingGreedy(fleet *Fleet, alpha float64, rounds int) *ImprovingGreedy {
+	return &ImprovingGreedy{
+		Greedy: NewGreedy(fleet, Config{Alpha: alpha, Prune: true, PostCheck: true}, "pruneGreedyDP+improve"),
+		Rounds: rounds,
+	}
+}
+
+// OnRequest plans like pruneGreedyDP, then improves the chosen route.
+func (p *ImprovingGreedy) OnRequest(now float64, req *Request) Result {
+	res := p.Greedy.OnRequest(now, req)
+	if res.Served {
+		w := p.fleet.Worker(res.Worker)
+		p.Saved += ImproveRoute(&w.Route, w.Capacity, p.fleet.Dist, p.Rounds)
+	}
+	return res
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// Insertion is the outcome of an insertion operator (Definition 6): insert
+// o_r after position I and d_r after position J of the route (positions
+// count vertices l₀..l_n, so 0 means "right after the current location" and
+// n means "append at the end"; I ≤ J). Delta is the increased travel time.
+type Insertion struct {
+	OK    bool
+	I, J  int
+	Delta float64
+}
+
+// Infeasible is the result reported when no feasible insertion exists.
+var Infeasible = Insertion{OK: false, Delta: math.Inf(1)}
+
+// better reports whether (delta, i, j) improves on ins, breaking ties by
+// earliest positions to keep all operators deterministic and comparable.
+func (ins *Insertion) better(delta float64, i, j int) bool {
+	if !ins.OK {
+		return true
+	}
+	if delta < ins.Delta-feasEps {
+		return true
+	}
+	if delta > ins.Delta+feasEps {
+		return false
+	}
+	if i != ins.I {
+		return i < ins.I
+	}
+	return j < ins.J
+}
+
+func (ins *Insertion) update(delta float64, i, j int) {
+	if ins.better(delta, i, j) {
+		ins.OK = true
+		ins.Delta = delta
+		ins.I = i
+		ins.J = j
+	}
+}
+
+// clampNonNegative snaps floating-point noise out of the result: a true
+// insertion can never shorten a route (triangle inequality), but detour
+// arithmetic can produce deltas like −1e-12, which would break the
+// Δ* ≥ LBΔ* ≥ 0 invariant the Lemma 8 pruning relies on.
+func (ins *Insertion) clampNonNegative() Insertion {
+	if ins.OK && ins.Delta < 0 {
+		ins.Delta = 0
+	}
+	return *ins
+}
+
+// insCtx carries the auxiliary arrays of §4.3 (Eq. 6–9) plus the per-stop
+// distances to the new request's origin and destination. Building it from
+// the cached route arrivals costs no distance queries for ddl/arr/slack/
+// picked; distO/distD cost 2(n+1) queries when exact (Lemma 9) or zero
+// when filled with Euclidean lower bounds (decision phase, Lemma 7).
+type insCtx struct {
+	rt     *Route
+	kw     int
+	req    *Request
+	L      float64 // dis(o_r, d_r)
+	n      int     // number of stops
+	distO  []float64
+	distD  []float64
+	slack  []float64
+	picked []int
+}
+
+func newInsCtx(rt *Route, kw int, req *Request, L float64) *insCtx {
+	n := rt.Len()
+	c := &insCtx{
+		rt: rt, kw: kw, req: req, L: L, n: n,
+		distO:  make([]float64, n+1),
+		distD:  make([]float64, n+1),
+		slack:  make([]float64, n+1),
+		picked: make([]int, n+1),
+	}
+	// slack[k] = min_{k'>k} (ddl[k'] − arr[k']); slack[n] = +Inf (Eq. 8).
+	c.slack[n] = math.Inf(1)
+	for k := n - 1; k >= 0; k-- {
+		gap := rt.ddlAt(k+1) - rt.arrAt(k+1)
+		c.slack[k] = math.Min(c.slack[k+1], gap)
+	}
+	// picked[k]: onboard load after leaving vertex k (Eq. 9).
+	c.picked[0] = rt.Onboard
+	for k := 1; k <= n; k++ {
+		c.picked[k] = c.picked[k-1] + rt.Stops[k-1].loadDelta()
+	}
+	return c
+}
+
+// fillExact populates distO/distD with exact oracle distances: 2(n+1)
+// queries. With the one L query this is the 2n+1 (paper counts l₀ among
+// the n route vertices) of Lemma 9.
+func (c *insCtx) fillExact(dist DistFunc) {
+	for k := 0; k <= c.n; k++ {
+		v := c.rt.vertexAt(k)
+		c.distO[k] = dist(v, c.req.Origin)
+		c.distD[k] = dist(v, c.req.Dest)
+	}
+}
+
+// fillEuclid populates distO/distD with Euclidean travel-time lower bounds:
+// zero distance queries (Lemma 7).
+func (c *insCtx) fillEuclid(g *roadnet.Graph) {
+	for k := 0; k <= c.n; k++ {
+		v := c.rt.vertexAt(k)
+		c.distO[k] = g.EuclidTime(v, c.req.Origin)
+		c.distD[k] = g.EuclidTime(v, c.req.Dest)
+	}
+}
+
+// det1 is det(l_i, o_r, l_{i+1}) for i < n (Fig. 2c's pickup detour).
+func (c *insCtx) det1(i int) float64 {
+	return c.distO[i] + c.distO[i+1] - c.rt.legDist(i+1)
+}
+
+// det2 is det(l_j, d_r, l_{j+1}); for j = n it degenerates to dis(l_n, d_r).
+func (c *insCtx) det2(j int) float64 {
+	if j == c.n {
+		return c.distD[c.n]
+	}
+	return c.distD[j] + c.distD[j+1] - c.rt.legDist(j+1)
+}
+
+// deltaEqual is Δ_{i,i} (Eq. 5's first two cases).
+func (c *insCtx) deltaEqual(i int) float64 {
+	if i == c.n {
+		return c.distO[c.n] + c.L
+	}
+	return c.distO[i] + c.L + c.distD[i+1] - c.rt.legDist(i+1)
+}
+
+// feasibleEqual checks the i = j case at position k: capacity (Lemma 5(1)),
+// the request's own deadline (Lemma 4(3)) and the shift of later stops
+// (Lemma 4(4)); delta must be deltaEqual(k).
+func (c *insCtx) feasibleEqual(k int, delta float64) bool {
+	if c.picked[k] > c.kw-c.req.Capacity {
+		return false
+	}
+	if c.rt.arrAt(k)+c.distO[k]+c.L > c.req.Deadline+feasEps {
+		return false
+	}
+	return delta <= c.slack[k]+feasEps
+}
+
+// LinearDPInsertion is Algorithm 3: the paper's O(n) insertion. It scans
+// delivery positions j once, maintaining Dio[j] = min_{i<j} det(l_i, o_r,
+// l_{i+1}) and its argmin Plc[j] via the DP of Eq. 11–12, and handles the
+// i = j special cases directly. L must be dis(o_r, d_r).
+func LinearDPInsertion(rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion {
+	c := newInsCtx(rt, kw, req, L)
+	c.fillExact(dist)
+	return linearDP(c)
+}
+
+// linearDP runs Algorithm 3 on a prepared context (exact or lower-bound
+// distances; with lower bounds the result value is LBΔ*, Eq. 17).
+func linearDP(c *insCtx) Insertion {
+	best := Infeasible
+	dio := math.Inf(1) // Dio[j]: min detour for inserting o_r among i < j
+	plc := -1          // Plc[j]
+	kwFree := c.kw - c.req.Capacity
+	for j := 0; j <= c.n; j++ {
+		// i = j special cases (Fig. 2a, 2b).
+		if d := c.deltaEqual(j); c.feasibleEqual(j, d) {
+			best.update(d, j, j)
+		}
+		// General case i < j (Fig. 2c), via Corollary 1.
+		if j > 0 && plc >= 0 {
+			if c.picked[j] <= kwFree &&
+				c.rt.arrAt(j)+dio+c.distD[j] <= c.req.Deadline+feasEps {
+				if d := dio + c.det2(j); d <= c.slack[j]+feasEps {
+					best.update(d, plc, j)
+				}
+			}
+		}
+		// Prune: arrivals are non-decreasing, so once arr[j] exceeds e_r no
+		// later pickup or delivery can meet the request's deadline
+		// (Algorithm 3 line 8).
+		if c.rt.arrAt(j) > c.req.Deadline+feasEps {
+			break
+		}
+		// DP transition to j+1 (Eq. 11–12): candidate i = j joins.
+		if j < c.n {
+			if c.picked[j] > kwFree {
+				// Capacity reset: no pickup at or before j can carry the
+				// request past vertex j (Lemma 5).
+				dio = math.Inf(1)
+				plc = -1
+			} else if d := c.det1(j); d <= c.slack[j]+feasEps && d < dio {
+				dio = d
+				plc = j
+			}
+		}
+	}
+	return best.clampNonNegative()
+}
+
+// NaiveDPInsertion is Algorithm 2: enumerate all O(n²) position pairs but
+// check feasibility and compute Δ in O(1) via the auxiliary arrays.
+func NaiveDPInsertion(rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion {
+	c := newInsCtx(rt, kw, req, L)
+	c.fillExact(dist)
+	best := Infeasible
+	kwFree := kw - req.Capacity
+	for i := 0; i <= c.n; i++ {
+		// Lemma 4(1)-style prune: by the triangle inequality
+		// arr[i'] + dis(l_i', o_r) is non-decreasing in i', so once the
+		// pickup cannot meet e_r − L no later i can (Algorithm 2 line 4).
+		if c.rt.arrAt(i)+c.distO[i]+c.L > req.Deadline+feasEps {
+			break
+		}
+		if c.picked[i] > kwFree { // Lemma 5(1) (Algorithm 2 line 5)
+			continue
+		}
+		if d := c.deltaEqual(i); d <= c.slack[i]+feasEps {
+			best.update(d, i, i)
+		}
+		if i == c.n {
+			continue
+		}
+		d1 := c.det1(i)
+		if d1 > c.slack[i]+feasEps { // Lemma 4(2) (Algorithm 2 line 6)
+			continue
+		}
+		for j := i + 1; j <= c.n; j++ {
+			if c.picked[j] > kwFree { // Lemma 5(2) (Algorithm 2 line 8)
+				break
+			}
+			// Lemma 4(3): arrival at d_r. By the triangle inequality
+			// arr[j] + dis(l_j, d_r) is non-decreasing in j, so break.
+			if c.rt.arrAt(j)+d1+c.distD[j] > req.Deadline+feasEps {
+				break
+			}
+			delta := d1 + c.det2(j)
+			if delta <= c.slack[j]+feasEps { // Lemma 4(4)
+				best.update(delta, i, j)
+			}
+		}
+	}
+	return best.clampNonNegative()
+}
+
+// BasicInsertion is Algorithm 1: enumerate all O(n²) position pairs and
+// check each candidate route from scratch in O(n) time and O(n) distance
+// queries, for O(n³) total work. It is also the reference implementation
+// the DP variants are validated against.
+func BasicInsertion(rt *Route, kw int, req *Request, dist DistFunc) Insertion {
+	best := Infeasible
+	n := rt.Len()
+	for i := 0; i <= n; i++ {
+		for j := i; j <= n; j++ {
+			delta, ok := simulateCandidate(rt, kw, req, i, j, dist)
+			if ok {
+				best.update(delta, i, j)
+			}
+		}
+	}
+	return best.clampNonNegative()
+}
+
+// simulateCandidate walks the route that results from inserting o_r after
+// position i and d_r after position j, recomputing every arrival time with
+// fresh distance queries and checking every deadline and capacity
+// constraint. It returns the increased travel time.
+func simulateCandidate(rt *Route, kw int, req *Request, i, j int, dist DistFunc) (float64, bool) {
+	n := rt.Len()
+	if i < 0 || j < i || j > n {
+		return 0, false
+	}
+	if req.Capacity > kw {
+		return 0, false
+	}
+	type visit struct {
+		vertex roadnet.VertexID
+		ddl    float64
+		load   int
+	}
+	seq := make([]visit, 0, n+2)
+	pickupDDL := req.Deadline - dist(req.Origin, req.Dest)
+	for k := 0; k < n; k++ {
+		if k == i {
+			seq = append(seq, visit{req.Origin, pickupDDL, req.Capacity})
+		}
+		if k == j && i < j {
+			seq = append(seq, visit{req.Dest, req.Deadline, -req.Capacity})
+		}
+		if k == i && i == j {
+			seq = append(seq, visit{req.Dest, req.Deadline, -req.Capacity})
+		}
+		s := rt.Stops[k]
+		seq = append(seq, visit{s.Vertex, s.DDL, s.loadDelta()})
+	}
+	if i == n {
+		seq = append(seq, visit{req.Origin, pickupDDL, req.Capacity})
+	}
+	if j == n {
+		seq = append(seq, visit{req.Dest, req.Deadline, -req.Capacity})
+	}
+
+	t := rt.Now
+	prev := rt.Loc
+	load := rt.Onboard
+	for _, v := range seq {
+		t += dist(prev, v.vertex)
+		if t > v.ddl+feasEps {
+			return 0, false
+		}
+		load += v.load
+		if load > kw {
+			return 0, false
+		}
+		prev = v.vertex
+	}
+	oldEnd := rt.PlannedEnd()
+	return (t - rt.Now) - (oldEnd - rt.Now), true
+}
+
+// Apply splices the chosen insertion into the route and updates the cached
+// arrival times incrementally with at most three extra distance queries
+// (plus the L the caller already has), per Lemma 9 / §5.3: dis(l_I, o_r),
+// dis(o_r, l_{I+1}) and dis(l_J, d_r) as needed.
+func Apply(rt *Route, kw int, req *Request, ins Insertion, L float64, dist DistFunc) error {
+	if !ins.OK {
+		return fmt.Errorf("core: applying infeasible insertion")
+	}
+	n := rt.Len()
+	if ins.I < 0 || ins.J < ins.I || ins.J > n {
+		return fmt.Errorf("core: insertion positions (%d,%d) out of range n=%d", ins.I, ins.J, n)
+	}
+	pickup := Stop{Vertex: req.Origin, Kind: Pickup, Req: req.ID, Cap: req.Capacity, DDL: req.Deadline - L}
+	dropoff := Stop{Vertex: req.Dest, Kind: Dropoff, Req: req.ID, Cap: req.Capacity, DDL: req.Deadline}
+
+	distLiOr := dist(rt.vertexAt(ins.I), req.Origin)
+	pickArr := rt.arrAt(ins.I) + distLiOr
+
+	newStops := make([]Stop, 0, n+2)
+	newArr := make([]float64, 0, n+2)
+
+	if ins.I == ins.J {
+		dropArr := pickArr + L
+		// stops [0, I) unchanged; pickup; dropoff; stops [I, n) shifted Δ.
+		newStops = append(newStops, rt.Stops[:ins.I]...)
+		newArr = append(newArr, rt.Arr[:ins.I]...)
+		newStops = append(newStops, pickup, dropoff)
+		newArr = append(newArr, pickArr, dropArr)
+		for k := ins.I; k < n; k++ {
+			newStops = append(newStops, rt.Stops[k])
+			newArr = append(newArr, rt.Arr[k]+ins.Delta)
+		}
+	} else {
+		d1 := distLiOr + dist(req.Origin, rt.vertexAt(ins.I+1)) - rt.legDist(ins.I+1)
+		dropArr := rt.arrAt(ins.J) + d1 + dist(rt.vertexAt(ins.J), req.Dest)
+		newStops = append(newStops, rt.Stops[:ins.I]...)
+		newArr = append(newArr, rt.Arr[:ins.I]...)
+		newStops = append(newStops, pickup)
+		newArr = append(newArr, pickArr)
+		for k := ins.I; k < ins.J; k++ { // shifted by the pickup detour
+			newStops = append(newStops, rt.Stops[k])
+			newArr = append(newArr, rt.Arr[k]+d1)
+		}
+		newStops = append(newStops, dropoff)
+		newArr = append(newArr, dropArr)
+		for k := ins.J; k < n; k++ { // shifted by the full Δ
+			newStops = append(newStops, rt.Stops[k])
+			newArr = append(newArr, rt.Arr[k]+ins.Delta)
+		}
+	}
+	rt.Stops = newStops
+	rt.Arr = newArr
+	return nil
+}

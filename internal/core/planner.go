@@ -1,0 +1,195 @@
+package core
+
+import "sort"
+
+// Result records the outcome of handling one request.
+type Result struct {
+	Served bool
+	Worker WorkerID // valid when Served
+	Delta  float64  // increased travel time when Served
+	// Deferred marks a decision postponed by a batching planner; the
+	// simulator collects the eventual outcome via the Deferring interface.
+	Deferred bool
+}
+
+// Planner handles dynamically arriving requests against a fleet. Planners
+// mutate worker routes when they serve a request; the simulator owns
+// worker movement and metrics.
+type Planner interface {
+	Name() string
+	// OnRequest decides and, if serving, plans request req arriving at
+	// absolute time now. Implementations may defer the decision
+	// (batching); such planners return Result{Deferred: true} and also
+	// implement Deferring.
+	OnRequest(now float64, req *Request) Result
+}
+
+// Deferring is implemented by planners that postpone decisions (batch).
+type Deferring interface {
+	// TakeDecided returns and clears the results decided since the last
+	// call (e.g. by an internal window flush during OnRequest).
+	TakeDecided() []DeferredResult
+	// FlushAll decides everything still pending; the simulator calls it
+	// once after the last request.
+	FlushAll(now float64)
+}
+
+// DeferredResult pairs a deferred request with its eventual outcome.
+type DeferredResult struct {
+	Req    *Request
+	Result Result
+}
+
+// InsertionFunc is the pluggable insertion operator of a greedy planner;
+// LinearDPInsertion is the paper's choice, the others enable ablations.
+type InsertionFunc func(rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion
+
+// Config parameterizes the greedy planners.
+type Config struct {
+	// Alpha is the weight α of total travel distance in the unified cost.
+	Alpha float64
+	// Prune enables the Lemma 8 pre-ordered pruning (pruneGreedyDP);
+	// disabled it yields the GreedyDP ablation.
+	Prune bool
+	// PostCheck rejects a request after planning when α·Δ* > p_r, i.e.
+	// when serving it would raise the unified cost more than its penalty.
+	// The paper's Algorithm 5 stops at the decision-phase lower-bound
+	// check; PostCheck is the natural strengthening and is on by default
+	// (see DESIGN.md §6). Set it false for strictly-paper behavior.
+	PostCheck bool
+	// Insertion is the insertion operator; nil means LinearDPInsertion.
+	Insertion InsertionFunc
+}
+
+// Greedy is the two-phase solution of §5: a decision phase driven by
+// Euclidean lower bounds and a planning phase that inserts the request
+// into the best worker. With Prune on it is pruneGreedyDP (Algorithm 5);
+// off it is the GreedyDP ablation.
+type Greedy struct {
+	fleet *Fleet
+	cfg   Config
+	name  string
+}
+
+// NewPruneGreedyDP returns the paper's pruneGreedyDP planner.
+func NewPruneGreedyDP(fleet *Fleet, alpha float64) *Greedy {
+	return NewGreedy(fleet, Config{Alpha: alpha, Prune: true, PostCheck: true}, "pruneGreedyDP")
+}
+
+// NewGreedyDP returns the GreedyDP ablation (no Lemma 8 pruning).
+func NewGreedyDP(fleet *Fleet, alpha float64) *Greedy {
+	return NewGreedy(fleet, Config{Alpha: alpha, Prune: false, PostCheck: true}, "GreedyDP")
+}
+
+// NewGreedy returns a greedy planner with full configuration control.
+func NewGreedy(fleet *Fleet, cfg Config, name string) *Greedy {
+	if cfg.Insertion == nil {
+		cfg.Insertion = LinearDPInsertion
+	}
+	return &Greedy{fleet: fleet, cfg: cfg, name: name}
+}
+
+// Name implements Planner.
+func (p *Greedy) Name() string { return p.name }
+
+// OnRequest implements Algorithm 5 for a single request.
+func (p *Greedy) OnRequest(now float64, req *Request) Result {
+	bestW, bestIns, L := p.Plan(now, req)
+	if bestW == nil {
+		return Result{}
+	}
+	if err := Apply(&bestW.Route, bestW.Capacity, req, bestIns, L, p.fleet.Dist); err != nil {
+		// An insertion reported feasible must apply cleanly; failure here
+		// is a programming error, not a runtime condition.
+		panic(err)
+	}
+	return Result{Served: true, Worker: bestW.ID, Delta: bestIns.Delta}
+}
+
+// Plan runs both phases of Algorithm 5 without mutating any route,
+// returning the chosen worker and insertion (nil when the request is
+// rejected). Exposed so ablations can compare planning decisions on
+// identical fleet state.
+func (p *Greedy) Plan(now float64, req *Request) (*Worker, Insertion, float64) {
+	f := p.fleet
+	L := f.Dist(req.Origin, req.Dest) // the decision phase's one query
+
+	cands := f.Candidates(req, now, L)
+	if len(cands) == 0 {
+		return nil, Infeasible, L
+	}
+
+	// Phase 1: decision (Algorithm 4).
+	lbs, reject := Decide(p.cfg.Alpha, cands, req, f.Graph, L)
+	if reject {
+		return nil, Infeasible, L
+	}
+
+	// Phase 2: planning. With pruning, scan workers in ascending LBΔ*
+	// order and stop once the best exact Δ* undercuts the next lower
+	// bound (Lemma 8).
+	if p.cfg.Prune {
+		sort.Slice(lbs, func(i, j int) bool {
+			if lbs[i].LB != lbs[j].LB {
+				return lbs[i].LB < lbs[j].LB
+			}
+			return lbs[i].Worker.ID < lbs[j].Worker.ID
+		})
+	}
+	var bestW *Worker
+	bestIns := Infeasible
+	for _, wb := range lbs {
+		// Strictly-less break keeps the scan order-independent: every
+		// worker whose exact Δ could tie the winner has LB ≤ Δ and is
+		// therefore still scanned, so the (Δ, worker ID) tie-break below
+		// selects the same winner whether or not pruning is enabled.
+		if p.cfg.Prune && bestW != nil && bestIns.Delta < wb.LB {
+			break
+		}
+		w := wb.Worker
+		ins := p.cfg.Insertion(&w.Route, w.Capacity, req, L, f.Dist)
+		if !ins.OK {
+			continue
+		}
+		if bestW == nil || ins.Delta < bestIns.Delta ||
+			(ins.Delta == bestIns.Delta && w.ID < bestW.ID) {
+			bestW = w
+			bestIns = ins
+		}
+	}
+	if bestW == nil {
+		return nil, Infeasible, L
+	}
+	if p.cfg.PostCheck && p.cfg.Alpha*bestIns.Delta > req.Penalty {
+		return nil, Infeasible, L
+	}
+	return bestW, bestIns, L
+}
+
+// UnifiedCost is Eq. 1: UC(W,R) = α·Σ_w D(S_w) + Σ_{r∈R⁻} p_r.
+func UnifiedCost(alpha float64, fleet *Fleet, rejected []*Request) float64 {
+	cost := alpha * fleet.TotalDistance()
+	for _, r := range rejected {
+		cost += r.Penalty
+	}
+	return cost
+}
+
+// Revenue is Eq. 2: the platform revenue c_r·Σ_{r∈R⁺} dis(o_r,d_r) −
+// c_w·Σ_w D(S_w). The paper shows maximizing it is equivalent to
+// minimizing UnifiedCost with α = c_w and p_r = c_r·dis(o_r,d_r).
+func Revenue(cr, cw float64, fleet *Fleet, served []*Request) float64 {
+	income := 0.0
+	for _, r := range served {
+		income += cr * fleet.Dist(r.Origin, r.Dest)
+	}
+	return income - cw*fleet.TotalDistance()
+}
+
+// ServedRate is |R⁺| / |R|.
+func ServedRate(served, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}

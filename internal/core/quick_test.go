@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/roadnet"
+)
+
+// instanceGen drives testing/quick with structured random URPSM
+// instances: a seed expands into a random route plus request over the
+// shared test world, so quick's shrinking/iteration machinery explores
+// the space while generation stays domain-valid.
+type instanceGen struct {
+	Seed     int64
+	Kw       uint8
+	Stops    uint8
+	Tightens bool
+}
+
+// Generate implements quick.Generator.
+func (instanceGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(instanceGen{
+		Seed:     r.Int63(),
+		Kw:       uint8(2 + r.Intn(5)),
+		Stops:    uint8(r.Intn(6)),
+		Tightens: r.Intn(3) == 0,
+	})
+}
+
+var quickWorld *testWorld
+
+func quickTW(t *testing.T) *testWorld {
+	t.Helper()
+	if quickWorld == nil {
+		quickWorld = newTestWorld(t, 9, 9, 12345)
+	}
+	return quickWorld
+}
+
+func (g instanceGen) materialize(tw *testWorld) (Route, *Request, int) {
+	rng := rand.New(rand.NewSource(g.Seed))
+	kw := int(g.Kw)
+	rt, _ := tw.randomRoute(rng, kw, int(g.Stops), rng.Float64()*500)
+	req := tw.randomRequest(rng, 7777, rt.Now)
+	if g.Tightens {
+		req.Deadline = rt.Now + tw.dist(req.Origin, req.Dest)*(1+rng.Float64()*0.2)
+	}
+	return rt, req, kw
+}
+
+// TestQuickOperatorsAgree is the quick-driven twin of TestOperatorsAgree.
+func TestQuickOperatorsAgree(t *testing.T) {
+	tw := quickTW(t)
+	prop := func(g instanceGen) bool {
+		rt, req, kw := g.materialize(tw)
+		L := tw.dist(req.Origin, req.Dest)
+		basic := BasicInsertion(&rt, kw, req, tw.dist)
+		linear := LinearDPInsertion(&rt, kw, req, L, tw.dist)
+		naive := NaiveDPInsertion(&rt, kw, req, L, tw.dist)
+		if basic.OK != linear.OK || basic.OK != naive.OK {
+			return false
+		}
+		if !basic.OK {
+			return true
+		}
+		tol := 1e-5 * (1 + basic.Delta)
+		return math.Abs(basic.Delta-linear.Delta) <= tol &&
+			math.Abs(basic.Delta-naive.Delta) <= tol
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if testing.Short() {
+		cfg.MaxCount = 80
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLowerBoundSound: LBΔ* ≤ Δ* under quick generation.
+func TestQuickLowerBoundSound(t *testing.T) {
+	tw := quickTW(t)
+	prop := func(g instanceGen) bool {
+		rt, req, kw := g.materialize(tw)
+		L := tw.dist(req.Origin, req.Dest)
+		lb := LowerBoundInsertion(&rt, kw, req, tw.g, L)
+		exact := LinearDPInsertion(&rt, kw, req, L, tw.dist)
+		if math.IsInf(lb, 1) {
+			return !exact.OK
+		}
+		if !exact.OK {
+			return true // a finite optimistic bound with no exact solution is fine
+		}
+		return lb <= exact.Delta+1e-5*(1+exact.Delta) && lb >= 0
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if testing.Short() {
+		cfg.MaxCount = 80
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickApplyValidates: applying any feasible insertion yields a
+// Validate-clean route whose distance grew by exactly Delta.
+func TestQuickApplyValidates(t *testing.T) {
+	tw := quickTW(t)
+	prop := func(g instanceGen) bool {
+		rt, req, kw := g.materialize(tw)
+		L := tw.dist(req.Origin, req.Dest)
+		ins := LinearDPInsertion(&rt, kw, req, L, tw.dist)
+		if !ins.OK {
+			return true
+		}
+		before := rt.RemainingDist()
+		if err := Apply(&rt, kw, req, ins, L, tw.dist); err != nil {
+			return false
+		}
+		if err := rt.Validate(kw, tw.dist); err != nil {
+			return false
+		}
+		return math.Abs((rt.RemainingDist()-before)-ins.Delta) <= 1e-5*(1+ins.Delta)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if testing.Short() {
+		cfg.MaxCount = 60
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneIndependence: mutating a clone never touches the original.
+func TestQuickCloneIndependence(t *testing.T) {
+	tw := quickTW(t)
+	prop := func(g instanceGen) bool {
+		rt, _, _ := g.materialize(tw)
+		if rt.Len() == 0 {
+			return true
+		}
+		cl := rt.Clone()
+		cl.Stops[0].Vertex++
+		cl.Arr[0] += 42
+		cl.Onboard++
+		return cl.Stops[0].Vertex != rt.Stops[0].Vertex &&
+			cl.Arr[0] != rt.Arr[0] && cl.Onboard != rt.Onboard
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestZeroLengthTrip: a request with origin == destination (L = 0) is
+// legal (e.g. the hardness constructions) and must insert cleanly.
+func TestZeroLengthTrip(t *testing.T) {
+	tw := quickTW(t)
+	rt := Route{Loc: 3, Now: 10}
+	req := &Request{ID: 1, Origin: 8, Dest: 8, Release: 10, Deadline: 5000, Penalty: 1, Capacity: 1}
+	L := tw.dist(req.Origin, req.Dest)
+	if L != 0 {
+		t.Fatalf("self distance %v", L)
+	}
+	for name, ins := range map[string]Insertion{
+		"basic":  BasicInsertion(&rt, 4, req, tw.dist),
+		"naive":  NaiveDPInsertion(&rt, 4, req, L, tw.dist),
+		"linear": LinearDPInsertion(&rt, 4, req, L, tw.dist),
+	} {
+		if !ins.OK {
+			t.Fatalf("%s rejected a zero-length trip", name)
+		}
+		want := tw.dist(3, 8)
+		if math.Abs(ins.Delta-want) > 1e-9 {
+			t.Fatalf("%s delta %v want %v", name, ins.Delta, want)
+		}
+	}
+	ins := LinearDPInsertion(&rt, 4, req, L, tw.dist)
+	if err := Apply(&rt, 4, req, ins, L, tw.dist); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Validate(4, tw.dist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCapacityOneWorker: K_w = 1 forbids any pooling — every insertion
+// must produce non-overlapping pickup/drop-off pairs.
+func TestCapacityOneWorker(t *testing.T) {
+	tw := quickTW(t)
+	rng := rand.New(rand.NewSource(55))
+	rt := Route{Loc: 0, Now: 0}
+	served := 0
+	for i := 0; i < 30; i++ {
+		req := tw.randomRequest(rng, RequestID(i), 0)
+		req.Capacity = 1
+		L := tw.dist(req.Origin, req.Dest)
+		ins := LinearDPInsertion(&rt, 1, req, L, tw.dist)
+		if !ins.OK {
+			continue
+		}
+		served++
+		if err := Apply(&rt, 1, req, ins, L, tw.dist); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Validate(1, tw.dist); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if served == 0 {
+		t.Fatal("capacity-1 worker served nothing")
+	}
+	// No pooling: every pickup must be immediately followed by its own
+	// drop-off.
+	for i := 0; i+1 < len(rt.Stops); i += 2 {
+		if rt.Stops[i].Kind != Pickup || rt.Stops[i+1].Kind != Dropoff ||
+			rt.Stops[i].Req != rt.Stops[i+1].Req {
+			t.Fatalf("pooling with capacity 1 at stops %d,%d", i, i+1)
+		}
+	}
+}
+
+// TestRequestLargerThanAnyWorker is the degenerate rejection path.
+func TestRequestLargerThanAnyWorker(t *testing.T) {
+	tw := quickTW(t)
+	rt := Route{Loc: 0, Now: 0}
+	req := &Request{ID: 1, Origin: 1, Dest: 2, Deadline: 1e9, Penalty: 1, Capacity: 99}
+	L := tw.dist(roadnet.VertexID(1), roadnet.VertexID(2))
+	if LinearDPInsertion(&rt, 4, req, L, tw.dist).OK {
+		t.Fatal("oversized request accepted")
+	}
+	if lb := LowerBoundInsertion(&rt, 4, req, tw.g, L); !math.IsInf(lb, 1) {
+		t.Fatalf("oversized request got finite bound %v", lb)
+	}
+}

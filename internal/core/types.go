@@ -1,0 +1,260 @@
+// Package core implements the paper's primary contribution: the URPSM
+// problem formulation (Definitions 1–5), the three insertion operators of
+// §4 (basic O(n³), naive DP O(n²), linear DP O(n)), the Euclidean
+// lower-bound decision phase of §5.1, and the pruneGreedyDP / GreedyDP
+// planners of §5.2–5.3.
+//
+// Distances are travel times in seconds over a roadnet.Graph; "distance"
+// and "travel time" are interchangeable exactly as in the paper (§3.1).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// RequestID identifies a request.
+type RequestID int32
+
+// WorkerID identifies a worker; it doubles as the spatial-index item ID.
+type WorkerID int32
+
+// Request is Definition 3: r = <o_r, d_r, t_r, e_r, p_r, K_r>.
+type Request struct {
+	ID       RequestID
+	Origin   roadnet.VertexID // o_r: pickup vertex
+	Dest     roadnet.VertexID // d_r: drop-off vertex
+	Release  float64          // t_r: seconds since simulation start
+	Deadline float64          // e_r: latest drop-off time (absolute seconds)
+	Penalty  float64          // p_r: cost of rejecting the request
+	Capacity int              // K_r: passengers/items in this request
+}
+
+// Validate reports the first structural problem with r.
+func (r *Request) Validate() error {
+	switch {
+	case r.Capacity < 1:
+		return fmt.Errorf("core: request %d has capacity %d < 1", r.ID, r.Capacity)
+	case r.Deadline < r.Release:
+		return fmt.Errorf("core: request %d deadline %v before release %v", r.ID, r.Deadline, r.Release)
+	case r.Penalty < 0:
+		return fmt.Errorf("core: request %d has negative penalty %v", r.ID, r.Penalty)
+	}
+	return nil
+}
+
+// StopKind distinguishes pickups from drop-offs.
+type StopKind uint8
+
+const (
+	// Pickup is the origin o_r of a request.
+	Pickup StopKind = iota
+	// Dropoff is the destination d_r of a request.
+	Dropoff
+)
+
+// String returns "pickup" or "dropoff".
+func (k StopKind) String() string {
+	if k == Pickup {
+		return "pickup"
+	}
+	return "dropoff"
+}
+
+// Stop is one element of a route: a pickup or drop-off location of a
+// request, carrying the precomputed per-stop deadline (Eq. 6: e_r − L for
+// the pickup, e_r for the drop-off) and the request's capacity.
+type Stop struct {
+	Vertex roadnet.VertexID
+	Kind   StopKind
+	Req    RequestID
+	Cap    int     // K_r of the request this stop belongs to
+	DDL    float64 // latest feasible arrival at this stop (Eq. 6)
+}
+
+// loadDelta is the change in onboard load after visiting the stop.
+func (s Stop) loadDelta() int {
+	if s.Kind == Pickup {
+		return s.Cap
+	}
+	return -s.Cap
+}
+
+// Route is Definition 4 plus the cached arrival times the paper maintains
+// as the auxiliary array arr[·] (§5.2.2, Lemma 9). The worker is at vertex
+// Loc at absolute time Now with Onboard passengers already picked up;
+// Stops is the ordered tail of the route and Arr the planned arrival time
+// at each stop (len(Arr) == len(Stops)).
+type Route struct {
+	Loc     roadnet.VertexID
+	Now     float64
+	Onboard int
+	Stops   []Stop
+	Arr     []float64
+}
+
+// Len returns the number of remaining stops n.
+func (rt *Route) Len() int { return len(rt.Stops) }
+
+// vertexAt maps position k ∈ [0, n] to a vertex: k = 0 is the current
+// location l₀, k ≥ 1 is stop k−1 (the paper's l_k).
+func (rt *Route) vertexAt(k int) roadnet.VertexID {
+	if k == 0 {
+		return rt.Loc
+	}
+	return rt.Stops[k-1].Vertex
+}
+
+// arrAt returns arr[k]: Now for k = 0, planned arrival otherwise.
+func (rt *Route) arrAt(k int) float64 {
+	if k == 0 {
+		return rt.Now
+	}
+	return rt.Arr[k-1]
+}
+
+// ddlAt returns ddl[k]: +Inf for k = 0 (the worker is already there),
+// the stop's deadline otherwise.
+func (rt *Route) ddlAt(k int) float64 {
+	if k == 0 {
+		return math.Inf(1)
+	}
+	return rt.Stops[k-1].DDL
+}
+
+// legDist returns dis(l_{k-1}, l_k) for k ∈ [1, n], recovered from arrival
+// times without a shortest-distance query (Lemma 7's "auxiliary array"
+// trick).
+func (rt *Route) legDist(k int) float64 {
+	return rt.arrAt(k) - rt.arrAt(k-1)
+}
+
+// RemainingDist is the planned travel time from Now to the end of the
+// route, in seconds.
+func (rt *Route) RemainingDist() float64 {
+	if len(rt.Stops) == 0 {
+		return 0
+	}
+	return rt.Arr[len(rt.Arr)-1] - rt.Now
+}
+
+// PlannedEnd is the absolute time the route completes.
+func (rt *Route) PlannedEnd() float64 {
+	if len(rt.Stops) == 0 {
+		return rt.Now
+	}
+	return rt.Arr[len(rt.Arr)-1]
+}
+
+// Recompute rebuilds Arr from scratch with n distance queries. The
+// planners never need it (they maintain Arr incrementally); it exists for
+// construction, repair and tests.
+func (rt *Route) Recompute(oracle DistFunc) {
+	if cap(rt.Arr) < len(rt.Stops) {
+		rt.Arr = make([]float64, len(rt.Stops))
+	}
+	rt.Arr = rt.Arr[:len(rt.Stops)]
+	t := rt.Now
+	prev := rt.Loc
+	for i, s := range rt.Stops {
+		t += oracle(prev, s.Vertex)
+		rt.Arr[i] = t
+		prev = s.Vertex
+	}
+}
+
+// Clone deep-copies the route.
+func (rt *Route) Clone() Route {
+	return Route{
+		Loc:     rt.Loc,
+		Now:     rt.Now,
+		Onboard: rt.Onboard,
+		Stops:   append([]Stop(nil), rt.Stops...),
+		Arr:     append([]float64(nil), rt.Arr...),
+	}
+}
+
+// Validate walks the route checking Definition 4's feasibility conditions:
+// arrival times consistent with the oracle, every arrival within its stop
+// deadline, the onboard load never exceeding kw, precedence (each pickup
+// before its drop-off, with both present for any request appearing), and
+// non-negative onboard load. feasEps absorbs floating-point noise.
+func (rt *Route) Validate(kw int, oracle DistFunc) error {
+	if rt.Onboard < 0 {
+		return fmt.Errorf("core: negative onboard load %d", rt.Onboard)
+	}
+	if len(rt.Arr) != len(rt.Stops) {
+		return fmt.Errorf("core: Arr length %d != Stops length %d", len(rt.Arr), len(rt.Stops))
+	}
+	t := rt.Now
+	prev := rt.Loc
+	load := rt.Onboard
+	pickedAt := map[RequestID]bool{}
+	dropped := map[RequestID]bool{}
+	for i, s := range rt.Stops {
+		t += oracle(prev, s.Vertex)
+		if math.Abs(t-rt.Arr[i]) > feasEps*(1+math.Abs(t)) {
+			return fmt.Errorf("core: stop %d arrival cache %v != recomputed %v", i, rt.Arr[i], t)
+		}
+		if t > s.DDL+feasEps {
+			return fmt.Errorf("core: stop %d (%v of request %d) arrives %v after deadline %v",
+				i, s.Kind, s.Req, t, s.DDL)
+		}
+		load += s.loadDelta()
+		if load > kw {
+			return fmt.Errorf("core: load %d exceeds capacity %d after stop %d", load, kw, i)
+		}
+		if load < 0 {
+			return fmt.Errorf("core: negative load %d after stop %d", load, i)
+		}
+		switch s.Kind {
+		case Pickup:
+			if pickedAt[s.Req] {
+				return fmt.Errorf("core: request %d picked up twice", s.Req)
+			}
+			pickedAt[s.Req] = true
+		case Dropoff:
+			if dropped[s.Req] {
+				return fmt.Errorf("core: request %d dropped twice", s.Req)
+			}
+			dropped[s.Req] = true
+		}
+		prev = s.Vertex
+	}
+	for req := range dropped {
+		// A drop-off without a pickup in the tail belongs to an onboard
+		// passenger; that is legal. A pickup without a drop-off is not.
+		_ = req
+	}
+	for req := range pickedAt {
+		if !dropped[req] {
+			return fmt.Errorf("core: request %d picked up but never dropped", req)
+		}
+	}
+	return nil
+}
+
+// Worker is Definition 2: w = <o_w, K_w>, plus its evolving route and the
+// travel it has already completed (maintained by the simulator).
+type Worker struct {
+	ID       WorkerID
+	Capacity int
+	Route    Route
+	Traveled float64 // completed driving time in seconds
+}
+
+// TotalDistance is D(S_w) over the whole simulation: completed travel plus
+// the planned remainder.
+func (w *Worker) TotalDistance() float64 {
+	return w.Traveled + w.Route.RemainingDist()
+}
+
+// DistFunc is the shortest travel-time oracle signature used throughout
+// core; it matches shortest.Oracle.Dist.
+type DistFunc func(u, v roadnet.VertexID) float64
+
+// feasEps absorbs floating-point error in feasibility comparisons. Route
+// times are O(10⁴) seconds, so 1e-6 is ~10 significant digits of headroom.
+const feasEps = 1e-6

@@ -1,0 +1,234 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tinyRunner builds a runner small enough for unit tests.
+func tinyRunner(t testing.TB) *Runner {
+	t.Helper()
+	p := workload.ChengduLike(0.01)
+	p.Net.Rows, p.Net.Cols = 18, 18
+	p.NumWorkers = 10
+	p.NumRequests = 120
+	r, err := NewRunner(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.KineticMaxNodes = 5000
+	return r
+}
+
+func TestRunOneAllAlgorithms(t *testing.T) {
+	r := tinyRunner(t)
+	for _, algo := range Algorithms {
+		m, err := r.RunOne(r.Base, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if m.Algorithm != algo {
+			t.Fatalf("metrics algorithm %q want %q", m.Algorithm, algo)
+		}
+		if m.Requests == 0 {
+			t.Fatalf("%s: no requests simulated", algo)
+		}
+		if m.LateArrivals != 0 {
+			t.Fatalf("%s: %d late arrivals", algo, m.LateArrivals)
+		}
+		if m.UnifiedCost <= 0 {
+			t.Fatalf("%s: unified cost %v", algo, m.UnifiedCost)
+		}
+	}
+	if _, err := r.RunOne(r.Base, "nope"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSweepFig6Shape(t *testing.T) {
+	r := tinyRunner(t)
+	s, err := r.Fig6([]string{"pruneGreedyDP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 5 {
+		t.Fatalf("points=%d", len(s.Points))
+	}
+	// Longer deadlines must not decrease the served rate (weak monotone
+	// check with slack for randomness: compare the extremes).
+	first := s.Points[0].Metrics["pruneGreedyDP"]
+	last := s.Points[len(s.Points)-1].Metrics["pruneGreedyDP"]
+	if last.ServedRate+0.05 < first.ServedRate {
+		t.Fatalf("served rate fell with looser deadlines: %v -> %v",
+			first.ServedRate, last.ServedRate)
+	}
+	if last.UnifiedCost > first.UnifiedCost*1.1 {
+		t.Fatalf("unified cost rose with looser deadlines: %v -> %v",
+			first.UnifiedCost, last.UnifiedCost)
+	}
+}
+
+func TestFig3MoreWorkersServeMore(t *testing.T) {
+	r := tinyRunner(t)
+	s, err := r.Fig3([]string{"pruneGreedyDP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Points[0].Metrics["pruneGreedyDP"]
+	last := s.Points[len(s.Points)-1].Metrics["pruneGreedyDP"]
+	if last.ServedRate+0.02 < first.ServedRate {
+		t.Fatalf("served rate fell with more workers: %v -> %v", first.ServedRate, last.ServedRate)
+	}
+}
+
+func TestFig5GridMemoryShape(t *testing.T) {
+	r := tinyRunner(t)
+	s, err := r.Fig5([]string{"tshare", "pruneGreedyDP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tshare's sorted-list index dwarfs the plain grid at small g and
+	// shrinks steeply as g grows.
+	small := s.Points[0].Metrics
+	large := s.Points[len(s.Points)-1].Metrics
+	if small["tshare"].GridMemoryBytes <= small["pruneGreedyDP"].GridMemoryBytes {
+		t.Fatal("tshare grid should out-weigh the plain grid")
+	}
+	if small["tshare"].GridMemoryBytes <= large["tshare"].GridMemoryBytes {
+		t.Fatal("tshare grid memory should shrink with larger cells")
+	}
+	// CellMeters must be restored after the sweep.
+	if r.CellMeters != 2000 {
+		t.Fatalf("CellMeters leaked: %v", r.CellMeters)
+	}
+}
+
+func TestPruneSavesQueries(t *testing.T) {
+	r := tinyRunner(t)
+	mp, err := r.RunOne(r.Base, "pruneGreedyDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := r.RunOne(r.Base, "GreedyDP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.DistQueries >= mg.DistQueries {
+		t.Fatalf("pruning saved nothing: %d vs %d", mp.DistQueries, mg.DistQueries)
+	}
+	// Lemma 8 losslessness, end to end.
+	if mp.Served != mg.Served || math.Abs(mp.UnifiedCost-mg.UnifiedCost) > 1e-5*(1+mg.UnifiedCost) {
+		t.Fatalf("prune changed outcomes: %+v vs %+v", mp, mg)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	r := tinyRunner(t)
+	st, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Vertices != r.G.NumVertices() || st.Edges != r.G.NumEdges() {
+		t.Fatal("stats do not match graph")
+	}
+	if st.Requests == 0 {
+		t.Fatal("no requests")
+	}
+	out := FormatTable4([]DatasetStats{st})
+	if !strings.Contains(out, "Chengdu") || !strings.Contains(out, "#(Requests)") {
+		t.Fatalf("table formatting: %q", out)
+	}
+}
+
+func TestHardnessGrowsWithV(t *testing.T) {
+	pts, err := Hardness(workload.AdvServedCount, []int{4, 32}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatal("points")
+	}
+	// With |V|=4 the single worker at v1 is often near the random origin;
+	// with |V|=32 almost never: the served count must drop sharply.
+	if pts[1].OnlineServed >= pts[0].OnlineServed {
+		t.Fatalf("hardness did not bite: served %d (|V|=4) vs %d (|V|=32)",
+			pts[0].OnlineServed, pts[1].OnlineServed)
+	}
+	out := FormatHardness(pts)
+	if !strings.Contains(out, "served-count") {
+		t.Fatalf("hardness formatting: %q", out)
+	}
+}
+
+func TestInsertionScalingShape(t *testing.T) {
+	pts, err := InsertionScaling([]int{8, 32}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatal("points")
+	}
+	// At n=32 basic must cost much more than linear (cubic vs linear).
+	if pts[1].BasicNs < pts[1].LinearNs {
+		t.Fatalf("basic %v ns cheaper than linear %v ns at n=32", pts[1].BasicNs, pts[1].LinearNs)
+	}
+	out := FormatInsertionScaling(pts)
+	if !strings.Contains(out, "linearDP") {
+		t.Fatalf("formatting: %q", out)
+	}
+}
+
+func TestFormatSeriesAndCSV(t *testing.T) {
+	s := Series{
+		Figure: "fig5", Dataset: "Chengdu", ParamName: "g(km)",
+		Points: []Point{
+			{Param: 1, Metrics: map[string]sim.Metrics{
+				"tshare":        {Algorithm: "tshare", UnifiedCost: 123.456, ServedRate: 0.5},
+				"pruneGreedyDP": {Algorithm: "pruneGreedyDP", UnifiedCost: 100, ServedRate: 0.7},
+			}},
+		},
+	}
+	txt := FormatSeries(s)
+	for _, want := range []string{"Unified Cost", "Served Rate", "Grid Memory", "tshare", "pruneGreedyDP"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("text output missing %q:\n%s", want, txt)
+		}
+	}
+	csv := FormatSeriesCSV(s)
+	if !strings.Contains(csv, "fig5,Chengdu,g(km),1,tshare,123.456,0.5") {
+		t.Fatalf("csv output:\n%s", csv)
+	}
+	// Canonical ordering puts tshare before pruneGreedyDP.
+	if strings.Index(csv, "tshare") > strings.Index(csv, "pruneGreedyDP") {
+		t.Fatal("algorithm order not canonical")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:           "3",
+		3.5:         "3.500",
+		0.001:       "0.001",
+		1.25e8:      "125000000", // integral values print exactly
+		2.5e7 + 0.5: "2.5e+07",   // huge non-integral values go scientific
+		-4:          "-4",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestPanelSelectors(t *testing.T) {
+	if len(PanelSelectors("fig4")) != 3 {
+		t.Fatal("fig4 panels")
+	}
+	if len(PanelSelectors("fig5")) != 4 || len(PanelSelectors("fig6")) != 4 {
+		t.Fatal("extra panels missing")
+	}
+}

@@ -1,0 +1,166 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// MetricSelector extracts one plotted value from a run's metrics.
+type MetricSelector struct {
+	Name string
+	Get  func(sim.Metrics) float64
+}
+
+// PanelSelectors returns the three panels every figure of the paper
+// shows — unified cost, served rate, response time — plus the figure's
+// extra panels where applicable (grid memory for Fig. 5, distance queries
+// for Fig. 6 and the |W| sweep's pruning discussion).
+func PanelSelectors(figure string) []MetricSelector {
+	panels := []MetricSelector{
+		{"Unified Cost", func(m sim.Metrics) float64 { return m.UnifiedCost }},
+		{"Served Rate", func(m sim.Metrics) float64 { return m.ServedRate }},
+		{"Response Time (ms)", func(m sim.Metrics) float64 { return m.AvgResponseMs }},
+	}
+	switch figure {
+	case "fig5":
+		panels = append(panels, MetricSelector{"Grid Memory (KB)",
+			func(m sim.Metrics) float64 { return float64(m.GridMemoryBytes) / 1024 }})
+	case "fig3", "fig6":
+		panels = append(panels, MetricSelector{"Distance Queries",
+			func(m sim.Metrics) float64 { return float64(m.DistQueries) }})
+	}
+	return panels
+}
+
+// timer is stubbed in tests.
+var now = time.Now
+
+// timeOp measures the mean nanoseconds of fn over reps executions.
+func timeOp(reps int, fn func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	start := now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return float64(now().Sub(start).Nanoseconds()) / float64(reps)
+}
+
+// FormatSeries renders one figure as aligned text tables, one per panel.
+func FormatSeries(s Series) string {
+	var b strings.Builder
+	algos := algosIn(s)
+	for _, sel := range PanelSelectors(s.Figure) {
+		fmt.Fprintf(&b, "%s / %s — %s\n", s.Figure, s.Dataset, sel.Name)
+		fmt.Fprintf(&b, "%-12s", s.ParamName)
+		for _, a := range algos {
+			fmt.Fprintf(&b, "%16s", a)
+		}
+		b.WriteByte('\n')
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "%-12s", trimFloat(pt.Param))
+			for _, a := range algos {
+				m, ok := pt.Metrics[a]
+				if !ok {
+					fmt.Fprintf(&b, "%16s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, "%16s", trimFloat(sel.Get(m)))
+			}
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatSeriesCSV renders one figure as CSV with one row per
+// (param, algorithm) and one column per metric.
+func FormatSeriesCSV(s Series) string {
+	var b strings.Builder
+	b.WriteString("figure,dataset,param,value,algorithm,unified_cost,served_rate,response_ms,dist_queries,grid_memory_bytes,total_distance\n")
+	for _, pt := range s.Points {
+		for _, a := range algosIn(s) {
+			m, ok := pt.Metrics[a]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "%s,%s,%s,%v,%s,%v,%v,%v,%d,%d,%v\n",
+				s.Figure, s.Dataset, s.ParamName, pt.Param, a,
+				m.UnifiedCost, m.ServedRate, m.AvgResponseMs, m.DistQueries,
+				m.GridMemoryBytes, m.TotalDistance)
+		}
+	}
+	return b.String()
+}
+
+func algosIn(s Series) []string {
+	seen := map[string]bool{}
+	for _, pt := range s.Points {
+		for a := range pt.Metrics {
+			seen[a] = true
+		}
+	}
+	// Keep the canonical plotting order, then any extras alphabetically.
+	var out []string
+	for _, a := range Algorithms {
+		if seen[a] {
+			out = append(out, a)
+			delete(seen, a)
+		}
+	}
+	var rest []string
+	for a := range seen {
+		rest = append(rest, a)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// trimFloat prints a float compactly (integers without decimals).
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v != 0 && (v < 0.01 && v > -0.01 || v >= 1e7 || v <= -1e7) {
+		return fmt.Sprintf("%.3g", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// FormatTable4 renders the dataset-statistics table.
+func FormatTable4(rows []DatasetStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s%14s%14s%14s\n", "Dataset", "#(Requests)", "#(Vertices)", "#(Edges)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s%14d%14d%14d\n", r.Name, r.Requests, r.Vertices, r.Edges)
+	}
+	return b.String()
+}
+
+// FormatHardness renders the empirical hardness table.
+func FormatHardness(points []HardnessPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s%8s%10s%14s%14s\n", "variant", "|V|", "trials", "online-served", "ratio-LB")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-14s%8d%10d%14d%14s\n",
+			p.Variant, p.NVertices, p.Trials, p.OnlineServed, trimFloat(p.RatioLB))
+	}
+	return b.String()
+}
+
+// FormatInsertionScaling renders the §4 operator-complexity ablation.
+func FormatInsertionScaling(points []InsertionScalingPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s%16s%16s%16s\n", "n", "basic ns/op", "naiveDP ns/op", "linearDP ns/op")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8d%16s%16s%16s\n", p.N,
+			trimFloat(p.BasicNs), trimFloat(p.NaiveNs), trimFloat(p.LinearNs))
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation (§6): parameter sweeps over number of workers (Fig. 3),
+// worker capacity (Fig. 4), grid size (Fig. 5), deadline (Fig. 6) and
+// penalty (Fig. 7), for all five compared algorithms, plus the dataset
+// statistics of Table 4 and an empirical run of the §3.3 hardness
+// constructions. Results come back as Series that cmd/urpsm-bench formats
+// into the paper's rows.
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Algorithms is the paper's comparison set, in its plotting order.
+var Algorithms = []string{"tshare", "kinetic", "pruneGreedyDP", "batch", "GreedyDP"}
+
+// AblationAlgorithms are additional planner variants outside the paper's
+// comparison: the greedy planner with the legacy insertion operators
+// (isolating the §4 contribution inside the full solution) and with the
+// paper-strict decision rule (no post-planning rejection).
+var AblationAlgorithms = []string{
+	"pruneGreedyBasic", "pruneGreedyNaive", "pruneGreedyDP-paper", "pruneGreedyDP+improve",
+}
+
+// Runner executes simulations over one dataset preset, sharing the
+// expensive pieces (road network, hub labeling) across all runs.
+type Runner struct {
+	Base   workload.Params
+	G      *roadnet.Graph
+	Hub    *shortest.HubLabels
+	Repeat int
+	// CellMeters is the grid cell size g used by every algorithm's index;
+	// the grid-size experiment overrides it per run.
+	CellMeters float64
+	// KineticMaxNodes caps the kinetic baseline's per-request search.
+	KineticMaxNodes int
+	// OracleKind picks the distance oracle: "hub" (default), "ch"
+	// (contraction hierarchies) or "bidijkstra" (no preprocessing) —
+	// the oracle ablation.
+	OracleKind string
+
+	ch *shortest.CH // built lazily for OracleKind == "ch"
+}
+
+// NewRunner generates the dataset's road network and builds its hub
+// labeling once.
+func NewRunner(base workload.Params, repeat int) (*Runner, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	g, err := roadnet.Generate(base.Net)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		Base:            base,
+		G:               g,
+		Hub:             shortest.BuildHubLabels(g),
+		Repeat:          repeat,
+		CellMeters:      2000,
+		KineticMaxNodes: 50000,
+	}, nil
+}
+
+// RunOne executes Repeat simulations of one algorithm under params p and
+// returns the averaged metrics (the paper averages repeated trials).
+func (r *Runner) RunOne(p workload.Params, algo string) (sim.Metrics, error) {
+	runs := make([]sim.Metrics, 0, r.Repeat)
+	for rep := 0; rep < r.Repeat; rep++ {
+		pp := p
+		pp.Seed = p.Seed + int64(rep)*1009
+		m, err := r.runSingle(pp, algo)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		runs = append(runs, m)
+	}
+	return sim.Average(runs), nil
+}
+
+// oracle returns the configured base distance oracle.
+func (r *Runner) oracle() (shortest.Oracle, error) {
+	switch r.OracleKind {
+	case "", "hub":
+		return r.Hub, nil
+	case "ch":
+		if r.ch == nil {
+			r.ch = shortest.BuildCH(r.G)
+		}
+		return r.ch, nil
+	case "bidijkstra":
+		return shortest.NewBiDijkstra(r.G), nil
+	default:
+		return nil, fmt.Errorf("expt: unknown oracle %q", r.OracleKind)
+	}
+}
+
+func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) {
+	base, err := r.oracle()
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	counter := shortest.NewCounting(base)
+	cached := shortest.NewCached(counter, 1<<18)
+	inst, err := workload.BuildOn(p, r.G, cached.Dist)
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	fleet, err := core.NewFleet(r.G, cached.Dist, inst.Workers, r.CellMeters)
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	var planner core.Planner
+	gridMem := fleet.Grid.MemoryBytes()
+	switch algo {
+	case "pruneGreedyDP":
+		planner = core.NewPruneGreedyDP(fleet, 1)
+	case "GreedyDP":
+		planner = core.NewGreedyDP(fleet, 1)
+	case "pruneGreedyBasic":
+		// Ablation: the full two-phase solution but with the O(n³) basic
+		// insertion as the planning operator.
+		planner = core.NewGreedy(fleet, core.Config{
+			Alpha: 1, Prune: true, PostCheck: true,
+			Insertion: func(rt *core.Route, kw int, req *core.Request, _ float64, dist core.DistFunc) core.Insertion {
+				return core.BasicInsertion(rt, kw, req, dist)
+			},
+		}, "pruneGreedyBasic")
+	case "pruneGreedyNaive":
+		// Ablation: the O(n²) naive DP insertion as the planning operator.
+		planner = core.NewGreedy(fleet, core.Config{
+			Alpha: 1, Prune: true, PostCheck: true,
+			Insertion: core.NaiveDPInsertion,
+		}, "pruneGreedyNaive")
+	case "pruneGreedyDP+improve":
+		// Extension: post-insertion remove-and-reinsert local search.
+		planner = core.NewImprovingGreedy(fleet, 1, 2)
+	case "pruneGreedyDP-paper":
+		// Ablation: strictly-paper Algorithm 5 (no post-planning
+		// rejection when α·Δ* > p_r).
+		planner = core.NewGreedy(fleet, core.Config{
+			Alpha: 1, Prune: true, PostCheck: false,
+		}, "pruneGreedyDP-paper")
+	case "tshare":
+		ts, err := baseline.NewTShare(fleet, r.CellMeters, 1)
+		if err != nil {
+			return sim.Metrics{}, err
+		}
+		planner = ts
+		// tshare's index = its sorted cell lists plus the worker grid it
+		// scans; both count toward its footprint.
+		gridMem = ts.GridMemoryBytes() + fleet.Grid.MemoryBytes()
+	case "kinetic":
+		k := baseline.NewKinetic(fleet, 1)
+		k.MaxNodes = r.KineticMaxNodes
+		planner = k
+	case "batch":
+		planner = baseline.NewBatch(fleet, 1)
+	default:
+		return sim.Metrics{}, fmt.Errorf("expt: unknown algorithm %q", algo)
+	}
+	eng := sim.NewEngine(fleet, planner, shortest.NewBiDijkstra(r.G), 1)
+	eng.Queries = counter
+	m, err := eng.Run(inst.Requests)
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	if err := eng.FastForward(); err != nil {
+		return sim.Metrics{}, fmt.Errorf("expt: %s on %s: %w", algo, p.Name, err)
+	}
+	m.GridMemoryBytes = gridMem
+	return m, nil
+}

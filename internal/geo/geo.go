@@ -1,0 +1,126 @@
+// Package geo provides the planar geometry primitives shared by the road
+// network, the spatial index and the Euclidean lower bounds of the decision
+// phase.
+//
+// All coordinates are planar and expressed in meters. Synthetic city
+// generation places vertices directly in a local metric plane, which keeps
+// Euclidean distances exact lower bounds of network distances without
+// geodesic corrections. A small haversine helper is provided for importing
+// latitude/longitude data.
+package geo
+
+import "math"
+
+// Point is a location in a local planar coordinate system, in meters.
+type Point struct {
+	X float64 // easting, meters
+	Y float64 // northing, meters
+}
+
+// Dist returns the Euclidean distance between p and q in meters.
+func (p Point) Dist(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparison-only callers such as nearest-neighbor
+// searches.
+func (p Point) DistSq(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p minus q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Lerp linearly interpolates between p and q; t=0 yields p, t=1 yields q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	Min, Max Point
+}
+
+// NewBBox returns the smallest bounding box containing all pts. The zero
+// BBox is returned for an empty slice.
+func NewBBox(pts []Point) BBox {
+	if len(pts) == 0 {
+		return BBox{}
+	}
+	b := BBox{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// Extend returns b grown to contain p.
+func (b BBox) Extend(p Point) BBox {
+	if p.X < b.Min.X {
+		b.Min.X = p.X
+	}
+	if p.Y < b.Min.Y {
+		b.Min.Y = p.Y
+	}
+	if p.X > b.Max.X {
+		b.Max.X = p.X
+	}
+	if p.Y > b.Max.Y {
+		b.Max.Y = p.Y
+	}
+	return b
+}
+
+// Contains reports whether p lies inside b (inclusive).
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X && p.Y >= b.Min.Y && p.Y <= b.Max.Y
+}
+
+// Width returns the horizontal extent of b in meters.
+func (b BBox) Width() float64 { return b.Max.X - b.Min.X }
+
+// Height returns the vertical extent of b in meters.
+func (b BBox) Height() float64 { return b.Max.Y - b.Min.Y }
+
+// Center returns the center point of b.
+func (b BBox) Center() Point {
+	return Point{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2}
+}
+
+const earthRadiusMeters = 6371008.8
+
+// Haversine returns the great-circle distance in meters between two
+// (latitude, longitude) pairs given in degrees. It is used when importing
+// geographic data into the local planar frame.
+func Haversine(lat1, lon1, lat2, lon2 float64) float64 {
+	const deg = math.Pi / 180
+	phi1, phi2 := lat1*deg, lat2*deg
+	dPhi := (lat2 - lat1) * deg
+	dLam := (lon2 - lon1) * deg
+	s1 := math.Sin(dPhi / 2)
+	s2 := math.Sin(dLam / 2)
+	a := s1*s1 + math.Cos(phi1)*math.Cos(phi2)*s2*s2
+	return 2 * earthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// ProjectLatLon converts a (lat, lon) pair in degrees to a local planar
+// Point using an equirectangular projection centered at (lat0, lon0). Good
+// to well under 1 % error at city scale, which is all the synthetic
+// pipeline needs when replaying imported coordinates.
+func ProjectLatLon(lat, lon, lat0, lon0 float64) Point {
+	const deg = math.Pi / 180
+	x := (lon - lon0) * deg * earthRadiusMeters * math.Cos(lat0*deg)
+	y := (lat - lat0) * deg * earthRadiusMeters
+	return Point{X: x, Y: y}
+}

@@ -1,0 +1,226 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDistBasic(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{1.5, 0}, Point{0, 2}, 2.5},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Dist(tc.q); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("Dist(%v,%v)=%v want %v", tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.Abs(ax) > 1e9 || math.Abs(ay) > 1e9 || math.Abs(bx) > 1e9 || math.Abs(by) > 1e9 {
+			return true // beyond planetary scale; irrelevant and overflow-prone
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		return almostEq(p.Dist(q), q.Dist(p), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a := Point{rng.Float64() * 1e4, rng.Float64() * 1e4}
+		b := Point{rng.Float64() * 1e4, rng.Float64() * 1e4}
+		c := Point{rng.Float64() * 1e4, rng.Float64() * 1e4}
+		if a.Dist(c) > a.Dist(b)+b.Dist(c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestDistSqMatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if math.Abs(ax) > 1e6 || math.Abs(ay) > 1e6 || math.Abs(bx) > 1e6 || math.Abs(by) > 1e6 {
+			return true // avoid overflow-scale inputs irrelevant at city scale
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		d := p.Dist(q)
+		return almostEq(d*d, p.DistSq(q), 1e-6*(1+d*d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add=%v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub=%v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale=%v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{10, 20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0)=%v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1)=%v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{5, 10}) {
+		t.Errorf("Lerp(0.5)=%v", got)
+	}
+}
+
+func TestBBox(t *testing.T) {
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	b := NewBBox(pts)
+	if b.Min != (Point{-2, -1}) || b.Max != (Point{4, 5}) {
+		t.Fatalf("bbox=%+v", b)
+	}
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("bbox should contain %v", p)
+		}
+	}
+	if b.Contains(Point{10, 0}) {
+		t.Error("bbox should not contain (10,0)")
+	}
+	if !almostEq(b.Width(), 6, 1e-12) || !almostEq(b.Height(), 6, 1e-12) {
+		t.Errorf("width=%v height=%v", b.Width(), b.Height())
+	}
+	if c := b.Center(); !almostEq(c.X, 1, 1e-12) || !almostEq(c.Y, 2, 1e-12) {
+		t.Errorf("center=%v", c)
+	}
+}
+
+func TestBBoxEmpty(t *testing.T) {
+	b := NewBBox(nil)
+	if b != (BBox{}) {
+		t.Errorf("empty bbox=%+v", b)
+	}
+}
+
+func TestBBoxExtendIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := BBox{Min: Point{0, 0}, Max: Point{0, 0}}
+	for i := 0; i < 500; i++ {
+		p := Point{rng.NormFloat64() * 100, rng.NormFloat64() * 100}
+		nb := b.Extend(p)
+		if !nb.Contains(p) {
+			t.Fatalf("extended bbox misses its own point %v", p)
+		}
+		if nb.Width() < b.Width() || nb.Height() < b.Height() {
+			t.Fatalf("Extend shrank bbox")
+		}
+		b = nb
+	}
+}
+
+func TestHaversineKnown(t *testing.T) {
+	// London to Paris, roughly 343 km.
+	d := Haversine(51.5074, -0.1278, 48.8566, 2.3522)
+	if d < 330e3 || d > 350e3 {
+		t.Errorf("London-Paris haversine=%v", d)
+	}
+	// Zero distance.
+	if d := Haversine(40, -70, 40, -70); d != 0 {
+		t.Errorf("self distance=%v", d)
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		la1 := rng.Float64()*160 - 80
+		lo1 := rng.Float64()*360 - 180
+		la2 := rng.Float64()*160 - 80
+		lo2 := rng.Float64()*360 - 180
+		a := Haversine(la1, lo1, la2, lo2)
+		b := Haversine(la2, lo2, la1, lo1)
+		if !almostEq(a, b, 1e-6*(1+a)) {
+			t.Fatalf("asymmetric haversine: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestProjectLatLonLocalAccuracy(t *testing.T) {
+	// Near the projection center, planar distance should match haversine
+	// closely (sub-1% at ~10 km scale).
+	lat0, lon0 := 40.75, -73.99 // Manhattan-ish
+	a := ProjectLatLon(40.76, -74.00, lat0, lon0)
+	b := ProjectLatLon(40.70, -73.95, lat0, lon0)
+	planar := a.Dist(b)
+	sphere := Haversine(40.76, -74.00, 40.70, -73.95)
+	if math.Abs(planar-sphere)/sphere > 0.01 {
+		t.Errorf("projection error too large: planar=%v sphere=%v", planar, sphere)
+	}
+}
+
+func TestRoadClassSpeeds(t *testing.T) {
+	if Motorway.Speed() <= Arterial.Speed() || Arterial.Speed() <= Collector.Speed() ||
+		Collector.Speed() <= Residential.Speed() {
+		t.Error("road class speeds must be strictly decreasing")
+	}
+	// Paper quotes ~23 m/s motorway and ~6 m/s residential.
+	if s := Motorway.Speed(); s < 20 || s > 25 {
+		t.Errorf("motorway speed=%v", s)
+	}
+	if s := Residential.Speed(); s < 5 || s > 8 {
+		t.Errorf("residential speed=%v", s)
+	}
+	if MaxSpeed() != Motorway.Speed() {
+		t.Error("MaxSpeed should be motorway speed")
+	}
+	// Out-of-range class falls back to the slowest class.
+	if RoadClass(250).Speed() != Residential.Speed() {
+		t.Error("unknown class should use residential speed")
+	}
+}
+
+func TestTravelTime(t *testing.T) {
+	// 1000 m on a residential road at 30 km/h * 0.8 ≈ 6.67 m/s → 150 s.
+	tt := Residential.TravelTime(1000)
+	if !almostEq(tt, 150, 1e-9) {
+		t.Errorf("travel time=%v want 150", tt)
+	}
+	for c := RoadClass(0); c < NumRoadClasses; c++ {
+		if got := c.TravelTime(c.Speed()); !almostEq(got, 1, 1e-9) {
+			t.Errorf("%v: time for one speed-length=%v want 1", c, got)
+		}
+	}
+}
+
+func TestRoadClassString(t *testing.T) {
+	want := map[RoadClass]string{
+		Motorway: "motorway", Arterial: "arterial",
+		Collector: "collector", Residential: "residential",
+		RoadClass(99): "unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("String(%d)=%q want %q", c, c.String(), s)
+		}
+	}
+}

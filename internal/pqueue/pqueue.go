@@ -1,0 +1,139 @@
+// Package pqueue implements an indexed binary min-heap keyed by float64
+// priorities over dense int32 item IDs. It is the priority queue behind all
+// Dijkstra-family searches in this repository: items are vertex IDs, and
+// DecreaseKey is O(log n) thanks to the position index.
+//
+// The zero value is not usable; construct with New. A single heap is meant
+// to be reused across many searches via Reset, which is O(#pushed items)
+// rather than O(capacity).
+package pqueue
+
+// Heap is an indexed min-heap. Item IDs must be in [0, capacity).
+type Heap struct {
+	ids  []int32   // heap order -> item id
+	prio []float64 // heap order -> priority
+	pos  []int32   // item id -> heap position, -1 if absent
+}
+
+// New returns a heap able to hold item IDs in [0, capacity).
+func New(capacity int) *Heap {
+	pos := make([]int32, capacity)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &Heap{pos: pos}
+}
+
+// Len returns the number of items currently in the heap.
+func (h *Heap) Len() int { return len(h.ids) }
+
+// Capacity returns the maximum item ID plus one.
+func (h *Heap) Capacity() int { return len(h.pos) }
+
+// Contains reports whether item id is currently enqueued.
+func (h *Heap) Contains(id int32) bool { return h.pos[id] >= 0 }
+
+// Priority returns the current priority of item id. It must be enqueued.
+func (h *Heap) Priority(id int32) float64 { return h.prio[h.pos[id]] }
+
+// Reset empties the heap, clearing only the slots that were used.
+func (h *Heap) Reset() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.prio = h.prio[:0]
+}
+
+// Push inserts item id with priority p, or decreases/updates its priority
+// if already present. Standard Dijkstra uses it as "push or decrease-key".
+func (h *Heap) Push(id int32, p float64) {
+	if i := h.pos[id]; i >= 0 {
+		old := h.prio[i]
+		h.prio[i] = p
+		if p < old {
+			h.up(int(i))
+		} else if p > old {
+			h.down(int(i))
+		}
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.prio = append(h.prio, p)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// Pop removes and returns the item with the minimum priority.
+// It panics if the heap is empty.
+func (h *Heap) Pop() (id int32, p float64) {
+	n := len(h.ids)
+	if n == 0 {
+		panic("pqueue: Pop on empty heap")
+	}
+	id, p = h.ids[0], h.prio[0]
+	h.pos[id] = -1
+	last := n - 1
+	if last > 0 {
+		h.ids[0] = h.ids[last]
+		h.prio[0] = h.prio[last]
+		h.pos[h.ids[0]] = 0
+	}
+	h.ids = h.ids[:last]
+	h.prio = h.prio[:last]
+	if last > 1 {
+		h.down(0)
+	}
+	return id, p
+}
+
+// Min returns the minimum item without removing it.
+// It panics if the heap is empty.
+func (h *Heap) Min() (id int32, p float64) {
+	if len(h.ids) == 0 {
+		panic("pqueue: Min on empty heap")
+	}
+	return h.ids[0], h.prio[0]
+}
+
+func (h *Heap) up(i int) {
+	id, p := h.ids[i], h.prio[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.prio[parent] <= p {
+			break
+		}
+		h.ids[i] = h.ids[parent]
+		h.prio[i] = h.prio[parent]
+		h.pos[h.ids[i]] = int32(i)
+		i = parent
+	}
+	h.ids[i] = id
+	h.prio[i] = p
+	h.pos[id] = int32(i)
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.ids)
+	id, p := h.ids[i], h.prio[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.prio[r] < h.prio[l] {
+			best = r
+		}
+		if h.prio[best] >= p {
+			break
+		}
+		h.ids[i] = h.ids[best]
+		h.prio[i] = h.prio[best]
+		h.pos[h.ids[i]] = int32(i)
+		i = best
+	}
+	h.ids[i] = id
+	h.prio[i] = p
+	h.pos[id] = int32(i)
+}

@@ -1,0 +1,191 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+)
+
+// GenConfig controls the synthetic city generator. The generator produces a
+// perturbed grid street network with periodic arterials and an optional
+// motorway ring, which stands in for the OpenStreetMap extracts used in the
+// paper (see DESIGN.md §4 for the substitution rationale).
+type GenConfig struct {
+	Rows, Cols    int     // grid dimensions; vertices = Rows*Cols before pruning
+	Spacing       float64 // base block edge length in meters
+	Jitter        float64 // vertex position noise as a fraction of Spacing (0..0.45)
+	ArterialEvery int     // every k-th row/column becomes an arterial (0 = none)
+	MotorwayRing  bool    // add a motorway ring along the outer boundary
+	RemoveFrac    float64 // fraction of residential edges randomly removed (0..0.6)
+	DetourMin     float64 // min edge length multiplier over Euclidean (≥1)
+	DetourMax     float64 // max edge length multiplier over Euclidean
+	Seed          int64
+}
+
+// Validate reports the first invalid field of c.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.Rows < 2 || c.Cols < 2:
+		return fmt.Errorf("roadnet: grid must be at least 2x2, got %dx%d", c.Rows, c.Cols)
+	case c.Spacing <= 0:
+		return fmt.Errorf("roadnet: spacing must be positive, got %v", c.Spacing)
+	case c.Jitter < 0 || c.Jitter > 0.45:
+		return fmt.Errorf("roadnet: jitter must be in [0,0.45], got %v", c.Jitter)
+	case c.RemoveFrac < 0 || c.RemoveFrac > 0.6:
+		return fmt.Errorf("roadnet: removeFrac must be in [0,0.6], got %v", c.RemoveFrac)
+	case c.DetourMin < 1:
+		return fmt.Errorf("roadnet: detourMin must be >= 1, got %v", c.DetourMin)
+	case c.DetourMax < c.DetourMin:
+		return fmt.Errorf("roadnet: detourMax %v < detourMin %v", c.DetourMax, c.DetourMin)
+	}
+	return nil
+}
+
+// DefaultGenConfig returns a mid-size city (≈10k vertices) configuration.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Rows: 100, Cols: 100,
+		Spacing:       150,
+		Jitter:        0.25,
+		ArterialEvery: 8,
+		MotorwayRing:  true,
+		RemoveFrac:    0.08,
+		DetourMin:     1.05,
+		DetourMax:     1.35,
+		Seed:          1,
+	}
+}
+
+// Generate builds a synthetic city road network from c. The result is
+// always connected (the largest component is extracted after random edge
+// removal) and every edge length is at least the Euclidean distance between
+// its endpoints, so Euclidean travel-time lower bounds are valid.
+func Generate(c GenConfig) (*Graph, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	b := NewBuilder(c.Rows*c.Cols, 2*c.Rows*c.Cols)
+
+	id := func(r, col int) VertexID { return VertexID(r*c.Cols + col) }
+	for r := 0; r < c.Rows; r++ {
+		for col := 0; col < c.Cols; col++ {
+			jx := (rng.Float64()*2 - 1) * c.Jitter * c.Spacing
+			jy := (rng.Float64()*2 - 1) * c.Jitter * c.Spacing
+			b.AddVertex(geo.Point{
+				X: float64(col)*c.Spacing + jx,
+				Y: float64(r)*c.Spacing + jy,
+			})
+		}
+	}
+
+	isArterialRow := func(r int) bool {
+		return c.ArterialEvery > 0 && r%c.ArterialEvery == 0
+	}
+	onRing := func(r, col int) bool {
+		return c.MotorwayRing && (r == 0 || r == c.Rows-1 || col == 0 || col == c.Cols-1)
+	}
+	classify := func(r1, c1, r2, c2 int) geo.RoadClass {
+		if onRing(r1, c1) && onRing(r2, c2) {
+			return geo.Motorway
+		}
+		// Horizontal edges on an arterial row, vertical on an arterial column.
+		if r1 == r2 && isArterialRow(r1) {
+			return geo.Arterial
+		}
+		if c1 == c2 && isArterialRow(c1) {
+			return geo.Arterial
+		}
+		if r1 == r2 && c.ArterialEvery > 0 && r1%c.ArterialEvery == c.ArterialEvery/2 {
+			return geo.Collector
+		}
+		if c1 == c2 && c.ArterialEvery > 0 && c1%c.ArterialEvery == c.ArterialEvery/2 {
+			return geo.Collector
+		}
+		return geo.Residential
+	}
+
+	detour := func() float64 {
+		return c.DetourMin + rng.Float64()*(c.DetourMax-c.DetourMin)
+	}
+	for r := 0; r < c.Rows; r++ {
+		for col := 0; col < c.Cols; col++ {
+			if col+1 < c.Cols {
+				class := classify(r, col, r, col+1)
+				if class != geo.Residential || rng.Float64() >= c.RemoveFrac {
+					if err := b.AddEdgeEuclid(id(r, col), id(r, col+1), detour(), class); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if r+1 < c.Rows {
+				class := classify(r, col, r+1, col)
+				if class != geo.Residential || rng.Float64() >= c.RemoveFrac {
+					if err := b.AddEdgeEuclid(id(r, col), id(r+1, col), detour(), class); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		g, _, err = g.LargestComponent()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// CycleGraph returns the |V|-vertex undirected cycle with unit edge cost
+// used by the hardness constructions of §3.3 (Lemmas 1–3). Vertices are
+// laid out on a circle so Euclidean lower bounds remain valid; edge lengths
+// are scaled so every edge costs exactly one second of travel.
+func CycleGraph(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("roadnet: cycle needs at least 3 vertices, got %d", n)
+	}
+	b := NewBuilder(n, n)
+	// Chord length for unit travel time at residential speed; circumradius
+	// chosen so adjacent vertices are exactly that far apart.
+	unit := geo.Residential.Speed() // meters per 1-second edge
+	radius := unit / (2 * math.Sin(math.Pi/float64(n)))
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		b.AddVertex(geo.Point{X: radius * math.Cos(theta), Y: radius * math.Sin(theta)})
+	}
+	for i := 0; i < n; i++ {
+		u, v := VertexID(i), VertexID((i+1)%n)
+		if err := b.AddEdge(u, v, unit, geo.Residential); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}
+
+// LineGraph returns an n-vertex path with the given uniform edge travel
+// time in seconds; handy for constructing exact, hand-checkable test
+// instances.
+func LineGraph(n int, edgeSeconds float64) (*Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("roadnet: line needs at least 2 vertices, got %d", n)
+	}
+	meters := edgeSeconds * geo.Residential.Speed()
+	b := NewBuilder(n, n-1)
+	for i := 0; i < n; i++ {
+		b.AddVertex(geo.Point{X: float64(i) * meters, Y: 0})
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddEdge(VertexID(i), VertexID(i+1), meters, geo.Residential); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build()
+}

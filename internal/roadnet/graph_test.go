@@ -1,0 +1,317 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// tinyGraph builds the 4-vertex diamond used across tests:
+//
+//	0 --100m-- 1
+//	|          |
+//	200m      100m
+//	|          |
+//	2 --100m-- 3
+func tinyGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4, 4)
+	b.AddVertex(geo.Point{X: 0, Y: 100})
+	b.AddVertex(geo.Point{X: 100, Y: 100})
+	b.AddVertex(geo.Point{X: 0, Y: 0})
+	b.AddVertex(geo.Point{X: 100, Y: 0})
+	mustAdd := func(u, v VertexID, m float64) {
+		t.Helper()
+		if err := b.AddEdge(u, v, m, geo.Residential); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1, 100)
+	mustAdd(0, 2, 200)
+	mustAdd(1, 3, 100)
+	mustAdd(2, 3, 100)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := tinyGraph(t)
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 2 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(0), g.Degree(3))
+	}
+	cost, ok := g.EdgeCost(0, 1)
+	if !ok {
+		t.Fatal("edge (0,1) missing")
+	}
+	want := geo.Residential.TravelTime(100)
+	if math.Abs(cost-want) > 1e-9 {
+		t.Fatalf("cost=%v want %v", cost, want)
+	}
+	if _, ok := g.EdgeCost(0, 3); ok {
+		t.Fatal("edge (0,3) should not exist")
+	}
+}
+
+func TestNeighborsEarlyStop(t *testing.T) {
+	g := tinyGraph(t)
+	count := 0
+	g.Neighbors(0, func(to VertexID, cost float64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d arcs", count)
+	}
+}
+
+func TestEdgesEachOnce(t *testing.T) {
+	g := tinyGraph(t)
+	edges := g.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("edges=%d", len(edges))
+	}
+	for _, e := range edges {
+		if e.U >= e.V {
+			t.Fatalf("edge not canonical: %+v", e)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddVertex(geo.Point{})
+	b.AddVertex(geo.Point{X: 1})
+	if err := b.AddEdge(0, 0, 1, geo.Residential); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddEdge(0, 5, 1, geo.Residential); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := b.AddEdge(0, 1, -3, geo.Residential); err == nil {
+		t.Error("negative length accepted")
+	}
+	if err := b.AddEdge(0, 1, math.Inf(1), geo.Residential); err == nil {
+		t.Error("infinite length accepted")
+	}
+	if err := b.AddEdgeEuclid(0, 1, 0.5, geo.Residential); err == nil {
+		t.Error("detour < 1 accepted")
+	}
+}
+
+func TestDuplicateEdgeRejected(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddVertex(geo.Point{})
+	b.AddVertex(geo.Point{X: 1})
+	b.AddEdge(0, 1, 1, geo.Residential)
+	b.AddEdge(1, 0, 2, geo.Residential) // same undirected edge
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate edge not rejected")
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	if _, err := NewBuilder(0, 0).Build(); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(5, 2)
+	for i := 0; i < 5; i++ {
+		b.AddVertex(geo.Point{X: float64(i)})
+	}
+	b.AddEdge(0, 1, 1, geo.Residential)
+	b.AddEdge(2, 3, 1, geo.Residential)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, nc := g.ConnectedComponents()
+	if nc != 3 {
+		t.Fatalf("components=%d want 3", nc)
+	}
+	if label[0] != label[1] || label[2] != label[3] || label[0] == label[2] || label[4] == label[0] {
+		t.Fatalf("labels=%v", label)
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	lc, remap, err := g.LargestComponent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.NumVertices() != 2 || lc.NumEdges() != 1 {
+		t.Fatalf("largest component V=%d E=%d", lc.NumVertices(), lc.NumEdges())
+	}
+	kept := 0
+	for _, m := range remap {
+		if m >= 0 {
+			kept++
+		}
+	}
+	if kept != 2 {
+		t.Fatalf("remap kept %d", kept)
+	}
+}
+
+func TestEuclidTimeIsLowerBoundOfEdgeCost(t *testing.T) {
+	g, err := Generate(GenConfig{
+		Rows: 20, Cols: 20, Spacing: 120, Jitter: 0.3, ArterialEvery: 5,
+		MotorwayRing: true, RemoveFrac: 0.1, DetourMin: 1.0, DetourMax: 1.4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Edges() {
+		lb := g.EuclidTime(e.U, e.V)
+		cost, ok := g.EdgeCost(e.U, e.V)
+		if !ok {
+			t.Fatal("missing edge")
+		}
+		if lb > cost+1e-9 {
+			t.Fatalf("euclid time %v exceeds edge cost %v for %+v", lb, cost, e)
+		}
+	}
+}
+
+func TestGenerateConnectedAndSized(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 30, 40
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("generated graph disconnected")
+	}
+	if g.NumVertices() < 30*40*8/10 {
+		t.Fatalf("too many vertices pruned: %d", g.NumVertices())
+	}
+	// Must contain several road classes.
+	classes := map[geo.RoadClass]int{}
+	for _, e := range g.Edges() {
+		classes[e.Class]++
+	}
+	for _, c := range []geo.RoadClass{geo.Motorway, geo.Arterial, geo.Residential} {
+		if classes[c] == 0 {
+			t.Errorf("no %v edges generated", c)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 15, 15
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := 0; i < a.NumVertices(); i++ {
+		if a.Point(VertexID(i)) != b.Point(VertexID(i)) {
+			t.Fatal("vertex positions differ")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{Rows: 1, Cols: 5, Spacing: 100, DetourMin: 1, DetourMax: 1},
+		{Rows: 5, Cols: 5, Spacing: 0, DetourMin: 1, DetourMax: 1},
+		{Rows: 5, Cols: 5, Spacing: 100, Jitter: 0.9, DetourMin: 1, DetourMax: 1},
+		{Rows: 5, Cols: 5, Spacing: 100, RemoveFrac: 0.9, DetourMin: 1, DetourMax: 1},
+		{Rows: 5, Cols: 5, Spacing: 100, DetourMin: 0.5, DetourMax: 1},
+		{Rows: 5, Cols: 5, Spacing: 100, DetourMin: 1.5, DetourMax: 1.2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestCycleGraph(t *testing.T) {
+	g, err := CycleGraph(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 8 || g.NumEdges() != 8 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	for v := VertexID(0); v < 8; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+	// Every edge costs exactly 1 second.
+	for _, e := range g.Edges() {
+		cost, _ := g.EdgeCost(e.U, e.V)
+		if math.Abs(cost-1) > 1e-9 {
+			t.Fatalf("edge cost=%v want 1", cost)
+		}
+	}
+	if _, err := CycleGraph(2); err == nil {
+		t.Fatal("cycle(2) accepted")
+	}
+}
+
+func TestLineGraph(t *testing.T) {
+	g, err := LineGraph(5, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	cost, _ := g.EdgeCost(1, 2)
+	if math.Abs(cost-2.5) > 1e-9 {
+		t.Fatalf("edge cost=%v want 2.5", cost)
+	}
+	if _, err := LineGraph(1, 1); err == nil {
+		t.Fatal("line(1) accepted")
+	}
+}
+
+func TestNearestVertexAndLocator(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 25, 25
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := NewVertexLocator(g, 0)
+	rng := rand.New(rand.NewSource(5))
+	bb := g.Bounds()
+	for i := 0; i < 300; i++ {
+		p := geo.Point{
+			X: bb.Min.X + rng.Float64()*bb.Width(),
+			Y: bb.Min.Y + rng.Float64()*bb.Height(),
+		}
+		want := g.NearestVertex(p)
+		got := loc.Nearest(p)
+		// Allow distance ties; require equal distance rather than equal ID.
+		if math.Abs(p.Dist(g.Point(want))-p.Dist(g.Point(got))) > 1e-9 {
+			t.Fatalf("locator nearest mismatch at %v: got %d (%v) want %d (%v)",
+				p, got, p.Dist(g.Point(got)), want, p.Dist(g.Point(want)))
+		}
+	}
+	// Far outside the bounding box must still work.
+	far := geo.Point{X: bb.Max.X + 1e5, Y: bb.Max.Y + 1e5}
+	if math.Abs(far.Dist(g.Point(loc.Nearest(far)))-far.Dist(g.Point(g.NearestVertex(far)))) > 1e-9 {
+		t.Fatal("locator wrong for far point")
+	}
+}

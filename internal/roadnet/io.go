@@ -1,0 +1,123 @@
+package roadnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+)
+
+// The text format is line-oriented and self-describing:
+//
+//	urpsm-roadnet 1
+//	v <numVertices>
+//	<x> <y>                 (numVertices lines)
+//	e <numEdges>
+//	<u> <v> <meters> <class> (numEdges lines)
+//
+// It exists so cmd/netgen can persist generated cities and experiments can
+// replay identical inputs without regeneration.
+
+const formatHeader = "urpsm-roadnet 1"
+
+// Write serializes g to w in the text format above.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "v %d\n", g.NumVertices())
+	for i := 0; i < g.NumVertices(); i++ {
+		p := g.Point(VertexID(i))
+		fmt.Fprintf(bw, "%.3f %.3f\n", p.X, p.Y)
+	}
+	edges := g.Edges()
+	fmt.Fprintf(bw, "e %d\n", len(edges))
+	for _, e := range edges {
+		fmt.Fprintf(bw, "%d %d %.3f %d\n", e.U, e.V, e.Meters, e.Class)
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph previously produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := func() (string, error) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	hdr, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if hdr != formatHeader {
+		return nil, fmt.Errorf("roadnet: bad header %q", hdr)
+	}
+
+	vline, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var nv int
+	if _, err := fmt.Sscanf(vline, "v %d", &nv); err != nil || nv <= 0 {
+		return nil, fmt.Errorf("roadnet: bad vertex count line %q", vline)
+	}
+	b := NewBuilder(nv, nv*2)
+	for i := 0; i < nv; i++ {
+		s, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: vertex %d: %w", i, err)
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("roadnet: vertex %d: bad line %q", i, s)
+		}
+		x, err1 := strconv.ParseFloat(fields[0], 64)
+		y, err2 := strconv.ParseFloat(fields[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("roadnet: vertex %d: bad coordinates %q", i, s)
+		}
+		b.AddVertex(geo.Point{X: x, Y: y})
+	}
+
+	eline, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var ne int
+	if _, err := fmt.Sscanf(eline, "e %d", &ne); err != nil || ne < 0 {
+		return nil, fmt.Errorf("roadnet: bad edge count line %q", eline)
+	}
+	for i := 0; i < ne; i++ {
+		s, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: edge %d: %w", i, err)
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("roadnet: edge %d: bad line %q", i, s)
+		}
+		u, err1 := strconv.ParseInt(fields[0], 10, 32)
+		v, err2 := strconv.ParseInt(fields[1], 10, 32)
+		m, err3 := strconv.ParseFloat(fields[2], 64)
+		cl, err4 := strconv.ParseUint(fields[3], 10, 8)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("roadnet: edge %d: bad fields %q", i, s)
+		}
+		if err := b.AddEdge(VertexID(u), VertexID(v), m, geo.RoadClass(cl)); err != nil {
+			return nil, fmt.Errorf("roadnet: edge %d: %w", i, err)
+		}
+	}
+	return b.Build()
+}

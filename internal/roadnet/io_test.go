@@ -1,0 +1,60 @@
+package roadnet
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 12, 18
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip size mismatch: V %d->%d E %d->%d",
+			g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+	}
+	for v := VertexID(0); int(v) < g.NumVertices(); v++ {
+		p, q := g.Point(v), g2.Point(v)
+		if math.Abs(p.X-q.X) > 1e-3 || math.Abs(p.Y-q.Y) > 1e-3 {
+			t.Fatalf("vertex %d moved: %v -> %v", v, p, q)
+		}
+	}
+	for _, e := range g.Edges() {
+		c1, ok1 := g.EdgeCost(e.U, e.V)
+		c2, ok2 := g2.EdgeCost(e.U, e.V)
+		if !ok1 || !ok2 || math.Abs(c1-c2) > 1e-3 {
+			t.Fatalf("edge (%d,%d) cost changed: %v -> %v", e.U, e.V, c1, c2)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-header\nv 1\n0 0\ne 0\n",
+		"urpsm-roadnet 1\nv -3\n",
+		"urpsm-roadnet 1\nv 1\nnotanumber 0\ne 0\n",
+		"urpsm-roadnet 1\nv 2\n0 0\n1 1\ne 1\n0 5 10 0\n", // bad endpoint
+		"urpsm-roadnet 1\nv 2\n0 0\n1 1\ne 1\n0 1 -5 0\n", // bad length
+		"urpsm-roadnet 1\nv 2\n0 0\n1 1\ne 2\n0 1 10 0\n", // truncated edges
+		"urpsm-roadnet 1\nv 2\n0 0\n1 1\ne 1\n0 1 10\n",   // missing class
+	}
+	for i, s := range cases {
+		if _, err := Read(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package roadnet
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genConfigGen drives testing/quick with valid random generator configs.
+type genConfigGen struct {
+	Rows, Cols uint8
+	Jitter     float64
+	RemoveFrac float64
+	Arterial   uint8
+	Ring       bool
+	Seed       int64
+}
+
+// Generate implements quick.Generator.
+func (genConfigGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genConfigGen{
+		Rows:       uint8(4 + r.Intn(20)),
+		Cols:       uint8(4 + r.Intn(20)),
+		Jitter:     r.Float64() * 0.45,
+		RemoveFrac: r.Float64() * 0.5,
+		Arterial:   uint8(r.Intn(9)),
+		Ring:       r.Intn(2) == 0,
+		Seed:       r.Int63(),
+	})
+}
+
+func (g genConfigGen) config() GenConfig {
+	return GenConfig{
+		Rows: int(g.Rows), Cols: int(g.Cols),
+		Spacing: 120, Jitter: g.Jitter,
+		ArterialEvery: int(g.Arterial), MotorwayRing: g.Ring,
+		RemoveFrac: g.RemoveFrac,
+		DetourMin:  1.0, DetourMax: 1.5,
+		Seed: g.Seed,
+	}
+}
+
+// TestQuickGeneratedGraphsWellFormed: any valid config yields a connected
+// graph whose every edge is at least as long as the straight line between
+// its endpoints (the Euclidean lower-bound invariant the decision phase
+// needs) and whose CSR structure is internally consistent.
+func TestQuickGeneratedGraphsWellFormed(t *testing.T) {
+	prop := func(gc genConfigGen) bool {
+		g, err := Generate(gc.config())
+		if err != nil {
+			return false
+		}
+		if !g.IsConnected() || g.NumVertices() == 0 {
+			return false
+		}
+		// CSR symmetry: every arc has its reverse with the same cost.
+		for _, e := range g.Edges() {
+			c1, ok1 := g.EdgeCost(e.U, e.V)
+			c2, ok2 := g.EdgeCost(e.V, e.U)
+			if !ok1 || !ok2 || c1 != c2 {
+				return false
+			}
+			if g.EuclidTime(e.U, e.V) > c1+1e-9 {
+				return false
+			}
+			if e.Meters < g.Euclid(e.U, e.V)-1e-9 {
+				return false
+			}
+		}
+		// Degrees sum to twice the edge count.
+		total := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			total += g.Degree(VertexID(v))
+		}
+		return total == 2*g.NumEdges()
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBBoxContainsAllVertices: the graph's bounding box covers every
+// vertex (the spatial index relies on this).
+func TestQuickBBoxContainsAllVertices(t *testing.T) {
+	prop := func(gc genConfigGen) bool {
+		g, err := Generate(gc.config())
+		if err != nil {
+			return false
+		}
+		b := g.Bounds()
+		for v := 0; v < g.NumVertices(); v++ {
+			if !b.Contains(g.Point(VertexID(v))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRoundTripStable: Write→Read→Write produces identical bytes.
+func TestQuickRoundTripStable(t *testing.T) {
+	prop := func(gc genConfigGen) bool {
+		g, err := Generate(gc.config())
+		if err != nil {
+			return false
+		}
+		var a, b bytes.Buffer
+		if err := Write(&a, g); err != nil {
+			return false
+		}
+		first := a.String()
+		g2, err := Read(&a)
+		if err != nil {
+			return false
+		}
+		if err := Write(&b, g2); err != nil {
+			return false
+		}
+		return first == b.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,354 @@
+package shortest
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/pqueue"
+	"repro/internal/roadnet"
+)
+
+// CH is a contraction-hierarchies distance oracle: vertices are contracted
+// in importance order, shortcut edges preserve shortest distances among
+// the remaining vertices, and queries run a bidirectional upward Dijkstra
+// over the hierarchy. It is the classic preprocessing-based road-network
+// oracle family the paper's reference [9] belongs to; this repository
+// offers it alongside hub labels so the oracle choice can be ablated
+// (hub labels: faster queries, heavier preprocessing; CH: lighter
+// preprocessing, microsecond queries).
+//
+// The implementation is distance-only (the simulator reconstructs leg
+// paths with bidirectional Dijkstra, which it needs only once per leg).
+type CH struct {
+	n    int
+	rank []int32
+	// Upward adjacency: for each vertex, arcs to higher-ranked vertices.
+	upStart []int32
+	upTo    []roadnet.VertexID
+	upW     []float64
+
+	// Query state (reused; not safe for concurrent use).
+	fwd, bwd chSearch
+	// Shortcuts is the number of shortcut edges added during preprocessing.
+	Shortcuts int
+}
+
+type chSearch struct {
+	dist    []float64
+	version []uint32
+	cur     uint32
+	heap    *pqueue.Heap
+}
+
+// chPrioItem is a lazy priority-queue entry used during preprocessing.
+type chPrioItem struct {
+	v    roadnet.VertexID
+	prio float64
+}
+
+type chPrioQueue []chPrioItem
+
+func (q chPrioQueue) Len() int            { return len(q) }
+func (q chPrioQueue) Less(i, j int) bool  { return q[i].prio < q[j].prio }
+func (q chPrioQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *chPrioQueue) Push(x interface{}) { *q = append(*q, x.(chPrioItem)) }
+func (q *chPrioQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// chArc is a working-graph arc during contraction.
+type chArc struct {
+	to roadnet.VertexID
+	w  float64
+}
+
+// BuildCH preprocesses g into a contraction hierarchy. Deterministic.
+func BuildCH(g *roadnet.Graph) *CH {
+	n := g.NumVertices()
+	// Working graph: adjacency among not-yet-contracted vertices,
+	// including shortcuts. Parallel arcs are collapsed to the minimum.
+	adj := make([]map[roadnet.VertexID]float64, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[roadnet.VertexID]float64, g.Degree(roadnet.VertexID(v))+2)
+	}
+	for _, e := range g.Edges() {
+		w := e.Class.TravelTime(e.Meters)
+		addMinArc(adj, e.U, e.V, w)
+		addMinArc(adj, e.V, e.U, w)
+	}
+
+	ch := &CH{n: n, rank: make([]int32, n)}
+	contracted := make([]bool, n)
+	neighborsContracted := make([]int32, n)
+
+	// Upward edges are accumulated per vertex as it is contracted: all of
+	// its current working-graph arcs point to later-contracted (higher
+	// rank) vertices by construction.
+	upAdj := make([][]chArc, n)
+
+	wit := newWitnessSearch(n)
+
+	simulate := func(v roadnet.VertexID) (shortcuts int) {
+		return ch.contract(adj, wit, v, contracted, nil)
+	}
+
+	pq := make(chPrioQueue, 0, n)
+	for v := 0; v < n; v++ {
+		s := simulate(roadnet.VertexID(v))
+		prio := float64(s - len(adj[v])) // edge difference
+		pq = append(pq, chPrioItem{v: roadnet.VertexID(v), prio: prio})
+	}
+	heap.Init(&pq)
+
+	nextRank := int32(0)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(chPrioItem)
+		v := it.v
+		if contracted[v] {
+			continue
+		}
+		// Lazy update: recompute the priority; if it is no longer the
+		// minimum, requeue.
+		s := simulate(v)
+		prio := float64(s-len(adj[v])) + 2*float64(neighborsContracted[v])
+		if pq.Len() > 0 && prio > pq[0].prio+1e-9 {
+			heap.Push(&pq, chPrioItem{v: v, prio: prio})
+			continue
+		}
+		// Contract v for real: record its upward arcs, add shortcuts.
+		ch.rank[v] = nextRank
+		nextRank++
+		for to, w := range adj[v] {
+			upAdj[v] = append(upAdj[v], chArc{to: to, w: w})
+		}
+		added := make([][3]float64, 0, 8)
+		ch.contract(adj, wit, v, contracted, &added)
+		ch.Shortcuts += len(added)
+		contracted[v] = true
+		for to := range adj[v] {
+			delete(adj[to], v)
+			neighborsContracted[to]++
+		}
+		adj[v] = nil
+	}
+
+	// Freeze the upward adjacency into CSR.
+	total := 0
+	for _, l := range upAdj {
+		total += len(l)
+	}
+	ch.upStart = make([]int32, n+1)
+	ch.upTo = make([]roadnet.VertexID, total)
+	ch.upW = make([]float64, total)
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		ch.upStart[v] = pos
+		for _, a := range upAdj[v] {
+			ch.upTo[pos] = a.to
+			ch.upW[pos] = a.w
+			pos++
+		}
+	}
+	ch.upStart[n] = pos
+
+	ch.fwd = newCHSearch(n)
+	ch.bwd = newCHSearch(n)
+	return ch
+}
+
+func addMinArc(adj []map[roadnet.VertexID]float64, u, v roadnet.VertexID, w float64) {
+	if old, ok := adj[u][v]; !ok || w < old {
+		adj[u][v] = w
+	}
+}
+
+// contract either simulates (added == nil: returns the number of
+// shortcuts contraction of v would add) or performs (added != nil: the
+// shortcuts are inserted into adj and appended to *added) the contraction
+// of v.
+func (ch *CH) contract(adj []map[roadnet.VertexID]float64, wit *witnessSearch,
+	v roadnet.VertexID, contracted []bool, added *[][3]float64) int {
+	neighbors := make([]chArc, 0, len(adj[v]))
+	maxOut := 0.0
+	for to, w := range adj[v] {
+		if contracted[to] {
+			continue
+		}
+		neighbors = append(neighbors, chArc{to: to, w: w})
+		if w > maxOut {
+			maxOut = w
+		}
+	}
+	count := 0
+	for i, u := range neighbors {
+		// Witness search from u avoiding v, bounded by the largest
+		// possible via-v distance.
+		limit := u.w + maxOut
+		wit.run(adj, contracted, u.to, v, limit)
+		for j, x := range neighbors {
+			if i == j {
+				continue
+			}
+			viaV := u.w + x.w
+			if wd := wit.distTo(x.to); wd <= viaV+1e-12 {
+				continue // witness path exists; no shortcut needed
+			}
+			if cur, ok := adj[u.to][x.to]; ok && cur <= viaV {
+				continue // existing (shortcut) edge already covers it
+			}
+			count++
+			if added != nil {
+				addMinArc(adj, u.to, x.to, viaV)
+				addMinArc(adj, x.to, u.to, viaV)
+				*added = append(*added, [3]float64{float64(u.to), float64(x.to), viaV})
+			}
+		}
+	}
+	return count
+}
+
+// witnessSearch is a bounded Dijkstra over the working graph that avoids
+// one vertex; hop- and node-limited for preprocessing speed (a missed
+// witness only adds a redundant shortcut, never breaks correctness).
+type witnessSearch struct {
+	dist    []float64
+	version []uint32
+	cur     uint32
+	heap    *pqueue.Heap
+}
+
+func newWitnessSearch(n int) *witnessSearch {
+	return &witnessSearch{
+		dist:    make([]float64, n),
+		version: make([]uint32, n),
+		heap:    pqueue.New(n),
+	}
+}
+
+const witnessNodeLimit = 64
+
+func (ws *witnessSearch) run(adj []map[roadnet.VertexID]float64, contracted []bool,
+	source, avoid roadnet.VertexID, limit float64) {
+	ws.cur++
+	if ws.cur == 0 {
+		for i := range ws.version {
+			ws.version[i] = 0
+		}
+		ws.cur = 1
+	}
+	ws.heap.Reset()
+	ws.version[source] = ws.cur
+	ws.dist[source] = 0
+	ws.heap.Push(source, 0)
+	settled := 0
+	for ws.heap.Len() > 0 && settled < witnessNodeLimit {
+		v, dv := ws.heap.Pop()
+		if dv > limit {
+			return
+		}
+		settled++
+		for to, w := range adj[v] {
+			if to == avoid || contracted[to] {
+				continue
+			}
+			du := dv + w
+			if ws.version[to] != ws.cur || du < ws.dist[to] {
+				ws.version[to] = ws.cur
+				ws.dist[to] = du
+				ws.heap.Push(to, du)
+			}
+		}
+	}
+}
+
+func (ws *witnessSearch) distTo(v roadnet.VertexID) float64 {
+	if ws.version[v] != ws.cur {
+		return math.Inf(1)
+	}
+	return ws.dist[v]
+}
+
+func newCHSearch(n int) chSearch {
+	return chSearch{
+		dist:    make([]float64, n),
+		version: make([]uint32, n),
+		heap:    pqueue.New(n),
+	}
+}
+
+func (s *chSearch) reset() {
+	s.cur++
+	if s.cur == 0 {
+		for i := range s.version {
+			s.version[i] = 0
+		}
+		s.cur = 1
+	}
+	s.heap.Reset()
+}
+
+func (s *chSearch) relax(v roadnet.VertexID, d float64) {
+	if s.version[v] != s.cur || d < s.dist[v] {
+		s.version[v] = s.cur
+		s.dist[v] = d
+		s.heap.Push(v, d)
+	}
+}
+
+// Dist implements Oracle: exact shortest travel time via bidirectional
+// upward search.
+func (ch *CH) Dist(s, t roadnet.VertexID) float64 {
+	if s == t {
+		return 0
+	}
+	f, b := &ch.fwd, &ch.bwd
+	f.reset()
+	b.reset()
+	f.relax(s, 0)
+	b.relax(t, 0)
+	best := math.Inf(1)
+	for f.heap.Len() > 0 || b.heap.Len() > 0 {
+		// Alternate; prune a side once its minimum exceeds best.
+		for _, side := range [2]*chSearch{f, b} {
+			if side.heap.Len() == 0 {
+				continue
+			}
+			if _, top := side.heap.Min(); top >= best {
+				side.heap.Reset()
+				continue
+			}
+			v, dv := side.heap.Pop()
+			other := b
+			if side == b {
+				other = f
+			}
+			if other.version[v] == other.cur {
+				if total := dv + other.dist[v]; total < best {
+					best = total
+				}
+			}
+			for i := ch.upStart[v]; i < ch.upStart[v+1]; i++ {
+				side.relax(ch.upTo[i], dv+ch.upW[i])
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return Inf
+	}
+	return best
+}
+
+// MemoryBytes reports the hierarchy's storage footprint.
+func (ch *CH) MemoryBytes() int64 {
+	return int64(len(ch.upTo))*4 + int64(len(ch.upW))*8 + int64(len(ch.upStart))*4 + int64(ch.n)*4
+}
+
+// AvgUpDegree is the mean number of upward arcs per vertex, the standard
+// CH quality measure.
+func (ch *CH) AvgUpDegree() float64 {
+	return float64(len(ch.upTo)) / float64(ch.n)
+}

@@ -1,0 +1,139 @@
+package shortest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+func TestCHMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 16, 20, 15)
+	ch := BuildCH(g)
+	dij := NewDijkstra(g)
+	rng := rand.New(rand.NewSource(42))
+	n := g.NumVertices()
+	for q := 0; q < 500; q++ {
+		s := roadnet.VertexID(rng.Intn(n))
+		tt := roadnet.VertexID(rng.Intn(n))
+		want := dij.Dist(s, tt)
+		got := ch.Dist(s, tt)
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("CH (%d,%d)=%v want %v", s, tt, got, want)
+		}
+	}
+}
+
+func TestCHSelfDistance(t *testing.T) {
+	g := testGraph(t, 6, 6, 3)
+	ch := BuildCH(g)
+	for v := 0; v < g.NumVertices(); v += 5 {
+		if d := ch.Dist(roadnet.VertexID(v), roadnet.VertexID(v)); d != 0 {
+			t.Fatalf("self distance %v", d)
+		}
+	}
+}
+
+func TestCHDisconnected(t *testing.T) {
+	b := roadnet.NewBuilder(4, 2)
+	b.AddVertex(geo.Point{})
+	b.AddVertex(geo.Point{X: 10})
+	b.AddVertex(geo.Point{X: 1000})
+	b.AddVertex(geo.Point{X: 1010})
+	b.AddEdge(0, 1, 10, geo.Residential)
+	b.AddEdge(2, 3, 10, geo.Residential)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := BuildCH(g)
+	if d := ch.Dist(0, 2); !math.IsInf(d, 1) {
+		t.Fatalf("disconnected pair distance %v", d)
+	}
+	if d := ch.Dist(0, 1); math.Abs(d-geo.Residential.TravelTime(10)) > 1e-9 {
+		t.Fatalf("edge distance %v", d)
+	}
+}
+
+func TestCHLineAndCycle(t *testing.T) {
+	line, err := roadnet.LineGraph(30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := BuildCH(line)
+	if d := ch.Dist(0, 29); math.Abs(d-58) > 1e-9 {
+		t.Fatalf("line end-to-end %v want 58", d)
+	}
+	cyc, err := roadnet.CycleGraph(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2 := BuildCH(cyc)
+	dij := NewDijkstra(cyc)
+	for s := 0; s < 16; s++ {
+		for tt := 0; tt < 16; tt++ {
+			want := dij.Dist(roadnet.VertexID(s), roadnet.VertexID(tt))
+			if got := ch2.Dist(roadnet.VertexID(s), roadnet.VertexID(tt)); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("cycle (%d,%d)=%v want %v", s, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestCHStatsSane(t *testing.T) {
+	g := testGraph(t, 12, 12, 8)
+	ch := BuildCH(g)
+	if ch.AvgUpDegree() <= 0 {
+		t.Fatal("no upward arcs")
+	}
+	// Every vertex has at most n-1 upward arcs; the average for a sparse
+	// planar-ish graph should stay modest.
+	if ch.AvgUpDegree() > 32 {
+		t.Fatalf("suspiciously dense hierarchy: %v", ch.AvgUpDegree())
+	}
+	if ch.MemoryBytes() <= 0 {
+		t.Fatal("memory not reported")
+	}
+	if ch.Shortcuts < 0 {
+		t.Fatal("negative shortcuts")
+	}
+}
+
+// TestCHAgainstHubLabels cross-validates the two preprocessing-based
+// oracles against each other on a fresh random city.
+func TestCHAgainstHubLabels(t *testing.T) {
+	g := testGraph(t, 14, 14, 77)
+	ch := BuildCH(g)
+	hub := BuildHubLabels(g)
+	rng := rand.New(rand.NewSource(5))
+	n := g.NumVertices()
+	for q := 0; q < 400; q++ {
+		s := roadnet.VertexID(rng.Intn(n))
+		tt := roadnet.VertexID(rng.Intn(n))
+		a, b := ch.Dist(s, tt), hub.Dist(s, tt)
+		if math.Abs(a-b) > 1e-6*(1+b) {
+			t.Fatalf("CH %v != hub %v for (%d,%d)", a, b, s, tt)
+		}
+	}
+}
+
+func BenchmarkCHQuery(b *testing.B) {
+	g := testGraph(b, 40, 40, 1)
+	ch := BuildCH(g)
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Dist(roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n)))
+	}
+}
+
+func BenchmarkCHBuild(b *testing.B) {
+	g := testGraph(b, 25, 25, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCH(g)
+	}
+}

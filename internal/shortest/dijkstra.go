@@ -1,0 +1,336 @@
+package shortest
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/pqueue"
+	"repro/internal/roadnet"
+)
+
+// Dijkstra is a reusable single-source shortest-path engine. Distance and
+// parent arrays are version-stamped so consecutive queries cost O(settled)
+// rather than O(V) to reset. Not safe for concurrent use.
+type Dijkstra struct {
+	g       *roadnet.Graph
+	dist    []float64
+	parent  []roadnet.VertexID
+	version []uint32
+	cur     uint32
+	heap    *pqueue.Heap
+	// Settled counts vertices settled by the most recent query; exposed for
+	// complexity experiments.
+	Settled int
+}
+
+// NewDijkstra returns an engine bound to g.
+func NewDijkstra(g *roadnet.Graph) *Dijkstra {
+	n := g.NumVertices()
+	return &Dijkstra{
+		g:       g,
+		dist:    make([]float64, n),
+		parent:  make([]roadnet.VertexID, n),
+		version: make([]uint32, n),
+		heap:    pqueue.New(n),
+	}
+}
+
+func (d *Dijkstra) reset() {
+	d.cur++
+	if d.cur == 0 { // version counter wrapped: hard reset
+		for i := range d.version {
+			d.version[i] = 0
+		}
+		d.cur = 1
+	}
+	d.heap.Reset()
+	d.Settled = 0
+}
+
+func (d *Dijkstra) seen(v roadnet.VertexID) bool { return d.version[v] == d.cur }
+
+func (d *Dijkstra) relax(v roadnet.VertexID, dv float64, from roadnet.VertexID) {
+	if !d.seen(v) || dv < d.dist[v] {
+		d.version[v] = d.cur
+		d.dist[v] = dv
+		d.parent[v] = from
+		d.heap.Push(v, dv)
+	}
+}
+
+// Dist returns the shortest travel time from s to t, stopping as soon as t
+// is settled.
+func (d *Dijkstra) Dist(s, t roadnet.VertexID) float64 {
+	d.runUntil(s, t, math.Inf(1))
+	if !d.seen(t) {
+		return Inf
+	}
+	return d.dist[t]
+}
+
+// RunAll computes shortest distances from s to every vertex; read them with
+// DistTo / ParentOf until the next query.
+func (d *Dijkstra) RunAll(s roadnet.VertexID) {
+	d.runUntil(s, -1, math.Inf(1))
+}
+
+// RunWithin computes distances from s to all vertices within the given
+// radius (seconds). Vertices beyond the radius are left unsettled.
+func (d *Dijkstra) RunWithin(s roadnet.VertexID, radius float64) {
+	d.runUntil(s, -1, radius)
+}
+
+func (d *Dijkstra) runUntil(s, t roadnet.VertexID, radius float64) {
+	d.reset()
+	d.relax(s, 0, -1)
+	for d.heap.Len() > 0 {
+		v, dv := d.heap.Pop()
+		if dv > radius {
+			return
+		}
+		d.Settled++
+		if v == t {
+			return
+		}
+		to, cost := d.g.Arcs(v)
+		for i, u := range to {
+			d.relax(u, dv+cost[i], v)
+		}
+	}
+}
+
+// DistTo returns the distance computed by the last RunAll/RunWithin/Dist
+// call, or +Inf if v was not settled/reached.
+func (d *Dijkstra) DistTo(v roadnet.VertexID) float64 {
+	if !d.seen(v) {
+		return Inf
+	}
+	return d.dist[v]
+}
+
+// Reached reports whether v was reached by the last run.
+func (d *Dijkstra) Reached(v roadnet.VertexID) bool { return d.seen(v) }
+
+// Path returns a shortest s→t vertex path (inclusive), or nil if t is
+// unreachable.
+func (d *Dijkstra) Path(s, t roadnet.VertexID) []roadnet.VertexID {
+	if d.Dist(s, t) == Inf {
+		return nil
+	}
+	return d.extractPath(s, t)
+}
+
+func (d *Dijkstra) extractPath(s, t roadnet.VertexID) []roadnet.VertexID {
+	var rev []roadnet.VertexID
+	for v := t; ; v = d.parent[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AStar is a goal-directed point-to-point engine using the Euclidean
+// travel-time lower bound as its heuristic. The bound is admissible and
+// consistent because every edge satisfies cost ≥ euclid/maxSpeed by
+// construction of the road network.
+type AStar struct {
+	g       *roadnet.Graph
+	dist    []float64
+	parent  []roadnet.VertexID
+	version []uint32
+	cur     uint32
+	heap    *pqueue.Heap
+	Settled int
+}
+
+// NewAStar returns an engine bound to g.
+func NewAStar(g *roadnet.Graph) *AStar {
+	n := g.NumVertices()
+	return &AStar{
+		g:       g,
+		dist:    make([]float64, n),
+		parent:  make([]roadnet.VertexID, n),
+		version: make([]uint32, n),
+		heap:    pqueue.New(n),
+	}
+}
+
+// Dist returns the shortest travel time from s to t.
+func (a *AStar) Dist(s, t roadnet.VertexID) float64 {
+	a.run(s, t)
+	if a.version[t] != a.cur {
+		return Inf
+	}
+	return a.dist[t]
+}
+
+// Path returns a shortest s→t vertex path, or nil if unreachable.
+func (a *AStar) Path(s, t roadnet.VertexID) []roadnet.VertexID {
+	a.run(s, t)
+	if a.version[t] != a.cur {
+		return nil
+	}
+	var rev []roadnet.VertexID
+	for v := t; ; v = a.parent[v] {
+		rev = append(rev, v)
+		if v == s {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (a *AStar) run(s, t roadnet.VertexID) {
+	a.cur++
+	if a.cur == 0 {
+		for i := range a.version {
+			a.version[i] = 0
+		}
+		a.cur = 1
+	}
+	a.heap.Reset()
+	a.Settled = 0
+	maxSpeed := geo.MaxSpeed()
+	tp := a.g.Point(t)
+	h := func(v roadnet.VertexID) float64 {
+		return a.g.Point(v).Dist(tp) / maxSpeed
+	}
+	a.version[s] = a.cur
+	a.dist[s] = 0
+	a.parent[s] = -1
+	a.heap.Push(s, h(s))
+	// The heuristic is consistent, so each vertex is settled at most once
+	// and the indexed heap's decrease-key keeps one entry per vertex; no
+	// closed set is needed.
+	for a.heap.Len() > 0 {
+		v, _ := a.heap.Pop()
+		a.Settled++
+		if v == t {
+			return
+		}
+		dv := a.dist[v]
+		to, cost := a.g.Arcs(v)
+		for i, u := range to {
+			du := dv + cost[i]
+			if a.version[u] != a.cur || du < a.dist[u] {
+				a.version[u] = a.cur
+				a.dist[u] = du
+				a.parent[u] = v
+				a.heap.Push(u, du+h(u))
+			}
+		}
+	}
+}
+
+// BiDijkstra is a bidirectional Dijkstra engine; roughly half the search
+// space of plain Dijkstra on road networks. It is the path engine the
+// simulator uses for route legs.
+type BiDijkstra struct {
+	fwd, bwd *Dijkstra
+	Settled  int
+}
+
+// NewBiDijkstra returns an engine bound to g. The graph is undirected so
+// both directions search the same adjacency.
+func NewBiDijkstra(g *roadnet.Graph) *BiDijkstra {
+	return &BiDijkstra{fwd: NewDijkstra(g), bwd: NewDijkstra(g)}
+}
+
+// Dist returns the shortest travel time from s to t.
+func (b *BiDijkstra) Dist(s, t roadnet.VertexID) float64 {
+	d, _ := b.search(s, t)
+	return d
+}
+
+// Path returns a shortest s→t vertex path, or nil if unreachable.
+func (b *BiDijkstra) Path(s, t roadnet.VertexID) []roadnet.VertexID {
+	d, meet := b.search(s, t)
+	if d == Inf {
+		return nil
+	}
+	fwdPath := b.fwd.extractPath(s, meet)
+	bwdPath := b.bwd.extractPath(t, meet) // t .. meet
+	// Append reversed bwdPath minus the duplicated meeting vertex.
+	for i := len(bwdPath) - 2; i >= 0; i-- {
+		fwdPath = append(fwdPath, bwdPath[i])
+	}
+	return fwdPath
+}
+
+func (b *BiDijkstra) search(s, t roadnet.VertexID) (float64, roadnet.VertexID) {
+	if s == t {
+		// Prime the engines so extractPath works for the trivial case.
+		b.fwd.reset()
+		b.fwd.relax(s, 0, -1)
+		b.bwd.reset()
+		b.bwd.relax(t, 0, -1)
+		return 0, s
+	}
+	f, w := b.fwd, b.bwd
+	f.reset()
+	w.reset()
+	f.relax(s, 0, -1)
+	w.relax(t, 0, -1)
+	best := math.Inf(1)
+	meet := roadnet.VertexID(-1)
+	b.Settled = 0
+	expand := func(d, other *Dijkstra) bool {
+		if d.heap.Len() == 0 {
+			return false
+		}
+		v, dv := d.heap.Pop()
+		b.Settled++
+		if other.seen(v) {
+			if total := dv + other.dist[v]; total < best {
+				best = total
+				meet = v
+			}
+		}
+		to, cost := d.g.Arcs(v)
+		for i, u := range to {
+			du := dv + cost[i]
+			d.relax(u, du, v)
+			if other.seen(u) {
+				if total := du + other.dist[u]; total < best {
+					best = total
+					meet = u
+				}
+			}
+		}
+		return true
+	}
+	for {
+		fTop := math.Inf(1)
+		if f.heap.Len() > 0 {
+			_, fTop = f.heap.Min()
+		}
+		wTop := math.Inf(1)
+		if w.heap.Len() > 0 {
+			_, wTop = w.heap.Min()
+		}
+		if fTop+wTop >= best {
+			break
+		}
+		if fTop <= wTop {
+			if !expand(f, w) {
+				break
+			}
+		} else {
+			if !expand(w, f) {
+				break
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return Inf, -1
+	}
+	return best, meet
+}

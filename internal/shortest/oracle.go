@@ -1,0 +1,83 @@
+// Package shortest provides the shortest-path machinery the paper assumes
+// as a substrate: exact point-to-point travel-time queries via Dijkstra,
+// bidirectional Dijkstra, A*, and a hub-labeling oracle (pruned landmark
+// labeling, standing in for the hub-based labeling of Abraham et al., the
+// paper's reference [9]), plus the LRU query cache and query counters used
+// in the paper's experimental setup.
+//
+// All distances are travel times in seconds over roadnet.Graph edges.
+package shortest
+
+import (
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// Oracle answers point-to-point shortest travel-time queries.
+// Dist returns +Inf when t is unreachable from s.
+type Oracle interface {
+	Dist(s, t roadnet.VertexID) float64
+}
+
+// PathOracle additionally reconstructs a shortest path as a vertex
+// sequence including both endpoints. A nil slice means unreachable.
+type PathOracle interface {
+	Oracle
+	Path(s, t roadnet.VertexID) []roadnet.VertexID
+}
+
+// Counting wraps an Oracle and counts queries. The paper's §6 reports
+// "saved shortest distance queries" between pruneGreedyDP and GreedyDP;
+// this wrapper is how the harness measures them. It is not safe for
+// concurrent use, matching the single-threaded simulator.
+type Counting struct {
+	Inner   Oracle
+	Queries uint64
+}
+
+// NewCounting wraps inner with a query counter.
+func NewCounting(inner Oracle) *Counting { return &Counting{Inner: inner} }
+
+// Dist implements Oracle, incrementing the query counter.
+func (c *Counting) Dist(s, t roadnet.VertexID) float64 {
+	c.Queries++
+	return c.Inner.Dist(s, t)
+}
+
+// Reset zeroes the counter.
+func (c *Counting) Reset() { c.Queries = 0 }
+
+// Matrix is a precomputed all-pairs oracle. It is O(V²) memory and is only
+// intended for small graphs (tests, the hardness constructions, and the
+// insertion microbenchmarks where O(1) queries isolate operator cost).
+type Matrix struct {
+	n    int
+	dist []float64
+}
+
+// NewMatrix runs one full Dijkstra per vertex and stores the results.
+func NewMatrix(g *roadnet.Graph) *Matrix {
+	n := g.NumVertices()
+	m := &Matrix{n: n, dist: make([]float64, n*n)}
+	d := NewDijkstra(g)
+	for s := 0; s < n; s++ {
+		d.RunAll(roadnet.VertexID(s))
+		row := m.dist[s*n : (s+1)*n]
+		for v := 0; v < n; v++ {
+			row[v] = d.DistTo(roadnet.VertexID(v))
+		}
+	}
+	return m
+}
+
+// Dist implements Oracle in O(1).
+func (m *Matrix) Dist(s, t roadnet.VertexID) float64 {
+	return m.dist[int(s)*m.n+int(t)]
+}
+
+// MemoryBytes reports the approximate size of the matrix.
+func (m *Matrix) MemoryBytes() int64 { return int64(len(m.dist)) * 8 }
+
+// Inf is the distance reported for unreachable pairs.
+var Inf = math.Inf(1)

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+// TestUnsortedStreamEquivalence: the engine must sort arrivals itself, so
+// a shuffled stream gives the same outcome as a sorted one.
+func TestUnsortedStreamEquivalence(t *testing.T) {
+	run := func(shuffle bool) Metrics {
+		pl := newPipeline(t, 37, 10, 200)
+		reqs := pl.inst.Requests
+		if shuffle {
+			rng := rand.New(rand.NewSource(1))
+			rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+		}
+		eng := NewEngine(pl.fleet, core.NewPruneGreedyDP(pl.fleet, 1), pl.paths, 1)
+		m, err := eng.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(false), run(true)
+	if a.Served != b.Served || math.Abs(a.UnifiedCost-b.UnifiedCost) > 1e-6*(1+a.UnifiedCost) {
+		t.Fatalf("order sensitivity: %+v vs %+v", a, b)
+	}
+}
+
+// TestSimultaneousReleases: many requests at the identical instant are
+// processed deterministically (stable sort keeps stream order).
+func TestSimultaneousReleases(t *testing.T) {
+	pl := newPipeline(t, 41, 8, 120)
+	for _, r := range pl.inst.Requests {
+		r.Release = 100
+		r.Deadline = 100 + 900
+	}
+	eng := NewEngine(pl.fleet, core.NewPruneGreedyDP(pl.fleet, 1), pl.paths, 1)
+	m, err := eng.Run(pl.inst.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LateArrivals != 0 {
+		t.Fatalf("late arrivals: %d", m.LateArrivals)
+	}
+	if err := eng.FastForward(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroWorkers: with an empty fleet everything is rejected and the
+// unified cost is exactly the penalty sum.
+func TestZeroWorkers(t *testing.T) {
+	pl := newPipeline(t, 43, 0, 50)
+	eng := NewEngine(pl.fleet, core.NewPruneGreedyDP(pl.fleet, 1), pl.paths, 1)
+	m, err := eng.Run(pl.inst.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Served != 0 {
+		t.Fatalf("served %d with zero workers", m.Served)
+	}
+	want := 0.0
+	for _, r := range pl.inst.Requests {
+		want += r.Penalty
+	}
+	if math.Abs(m.UnifiedCost-want) > 1e-9*(1+want) {
+		t.Fatalf("UC=%v want penalty sum %v", m.UnifiedCost, want)
+	}
+}
+
+// TestBoundaryDeadlines: deadlines exactly at the minimum feasible value
+// (reach pickup, then drive the trip) must be servable from an idle
+// worker without any late arrival.
+func TestBoundaryDeadlines(t *testing.T) {
+	pl := newPipeline(t, 47, 5, 0)
+	w := pl.fleet.Workers[2]
+	origin := w.Route.Loc
+	var reqs []*core.Request
+	rng := rand.New(rand.NewSource(3))
+	n := pl.inst.Graph.NumVertices()
+	for i := 0; i < 5; i++ {
+		dest := int32(rng.Intn(n))
+		if dest == origin {
+			continue
+		}
+		L := pl.fleet.Dist(origin, dest)
+		reqs = append(reqs, &core.Request{
+			ID: core.RequestID(i), Origin: origin, Dest: dest,
+			Release:  float64(i) * 1e4, // far apart: worker is idle again
+			Deadline: float64(i)*1e4 + L,
+			Penalty:  1e9, Capacity: 1, // huge penalty: serving always wins
+		})
+	}
+	// These are only feasible for workers already AT the origin; others
+	// cannot even reach the pickup in time. Worker 2 should take each.
+	eng := NewEngine(pl.fleet, core.NewPruneGreedyDP(pl.fleet, 1), pl.paths, 1)
+	m, err := eng.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.LateArrivals != 0 {
+		t.Fatalf("late arrivals: %d", m.LateArrivals)
+	}
+	if err := eng.FastForward(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Served == 0 {
+		t.Fatal("boundary-deadline requests all rejected")
+	}
+	// Workers end up back where requests started only if they served;
+	// here we only assert that serving happened and deadlines held, which
+	// FastForward already verified.
+}
+
+// TestBatchUnderMovement: the batch planner with real worker movement and
+// deferred accounting never loses a request and never misses a deadline.
+func TestBatchUnderMovement(t *testing.T) {
+	pl := newPipeline(t, 53, 12, 300)
+	b := baseline.NewBatch(pl.fleet, 1)
+	eng := NewEngine(pl.fleet, b, pl.paths, 1)
+	m, err := eng.Run(pl.inst.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Served+len(eng.Rejected()) != m.Requests {
+		t.Fatalf("batch lost requests: %d+%d != %d", m.Served, len(eng.Rejected()), m.Requests)
+	}
+	if m.Served == 0 {
+		t.Fatal("batch served nothing")
+	}
+	if err := eng.FastForward(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.completions != m.Served {
+		t.Fatalf("completions %d != served %d", eng.completions, m.Served)
+	}
+}
+
+// TestKineticUnderMovement: route reordering interacts with the movement
+// model (committed first legs); everything must still complete on time.
+func TestKineticUnderMovement(t *testing.T) {
+	pl := newPipeline(t, 59, 10, 250)
+	k := baseline.NewKinetic(pl.fleet, 1)
+	k.MaxNodes = 10000
+	eng := NewEngine(pl.fleet, k, pl.paths, 1)
+	m, err := eng.Run(pl.inst.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Served == 0 {
+		t.Fatal("kinetic served nothing")
+	}
+	if err := eng.FastForward(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvanceIdempotent: advancing to the same time twice changes nothing.
+func TestAdvanceIdempotent(t *testing.T) {
+	pl := newPipeline(t, 61, 6, 100)
+	planner := core.NewPruneGreedyDP(pl.fleet, 1)
+	eng := NewEngine(pl.fleet, planner, pl.paths, 1)
+	for i, r := range pl.inst.Requests {
+		eng.advanceAll(r.Release)
+		snap := make([]core.Route, len(pl.fleet.Workers))
+		for j, w := range pl.fleet.Workers {
+			snap[j] = w.Route.Clone()
+		}
+		eng.advanceAll(r.Release) // idempotent
+		for j, w := range pl.fleet.Workers {
+			if w.Route.Loc != snap[j].Loc || w.Route.Now != snap[j].Now ||
+				w.Route.Len() != snap[j].Len() {
+				t.Fatalf("req %d: advance not idempotent for worker %d", i, j)
+			}
+		}
+		planner.OnRequest(r.Release, r)
+	}
+}
+
+// TestTimeTravelGuard: advancing backwards is a no-op, not corruption.
+func TestTimeTravelGuard(t *testing.T) {
+	pl := newPipeline(t, 67, 4, 50)
+	planner := core.NewPruneGreedyDP(pl.fleet, 1)
+	eng := NewEngine(pl.fleet, planner, pl.paths, 1)
+	eng.advanceAll(1000)
+	before := make([]float64, len(pl.fleet.Workers))
+	for i, w := range pl.fleet.Workers {
+		before[i] = w.Route.Now
+	}
+	eng.advanceAll(10) // backwards
+	for i, w := range pl.fleet.Workers {
+		if w.Route.Now < before[i] {
+			t.Fatalf("worker %d time moved backwards", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestOccupancyAccounting verifies the time-weighted occupancy and
+// sharing statistics against hand-computable expectations.
+func TestOccupancyAccounting(t *testing.T) {
+	pl := newPipeline(t, 71, 6, 400)
+	planner := core.NewPruneGreedyDP(pl.fleet, 1)
+	eng := NewEngine(pl.fleet, planner, pl.paths, 1)
+	m, err := eng.Run(pl.inst.Requests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FastForward(); err != nil {
+		t.Fatal(err)
+	}
+	final := eng.Metrics(m.Requests)
+	if final.AvgOccupancy < 0 {
+		t.Fatalf("negative occupancy %v", final.AvgOccupancy)
+	}
+	if final.SharedFraction < 0 || final.SharedFraction > 1 {
+		t.Fatalf("shared fraction %v outside [0,1]", final.SharedFraction)
+	}
+	// With only 6 workers against 400 requests there must be pooling.
+	if m.Served > 50 && final.SharedFraction == 0 {
+		t.Fatal("no pooling observed under heavy load")
+	}
+	// Occupancy can never exceed the largest worker capacity.
+	maxKw := 0
+	for _, w := range pl.fleet.Workers {
+		if w.Capacity > maxKw {
+			maxKw = w.Capacity
+		}
+	}
+	if final.AvgOccupancy > float64(maxKw) {
+		t.Fatalf("avg occupancy %v exceeds max capacity %d", final.AvgOccupancy, maxKw)
+	}
+	// Percentiles are ordered.
+	if final.P50ResponseMs > final.P95ResponseMs+1e-9 || final.P95ResponseMs > final.MaxResponseMs+1e-9 {
+		t.Fatalf("percentiles out of order: p50=%v p95=%v max=%v",
+			final.P50ResponseMs, final.P95ResponseMs, final.MaxResponseMs)
+	}
+}
+
+// TestIdleWorkersCarryNoOccupancy: with zero requests nothing drives.
+func TestIdleWorkersCarryNoOccupancy(t *testing.T) {
+	pl := newPipeline(t, 73, 5, 10)
+	eng := NewEngine(pl.fleet, core.NewPruneGreedyDP(pl.fleet, 1), pl.paths, 1)
+	m, err := eng.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgOccupancy != 0 || m.SharedFraction != 0 || m.TotalDistance != 0 {
+		t.Fatalf("phantom driving: %+v", m)
+	}
+}
+
+func TestPercentileHelper(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+	s := []float64{5, 1, 3, 2, 4}
+	if p := percentile(append([]float64(nil), s...), 0); p != 1 {
+		t.Fatalf("p0=%v", p)
+	}
+	if p := percentile(append([]float64(nil), s...), 1); p != 5 {
+		t.Fatalf("p100=%v", p)
+	}
+	if p := percentile(append([]float64(nil), s...), 0.5); p != 3 {
+		t.Fatalf("p50=%v", p)
+	}
+}

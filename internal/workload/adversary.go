@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+// AdversaryVariant selects which hardness construction of §3.3 to build.
+type AdversaryVariant int
+
+const (
+	// AdvServedCount is Lemma 1 (α = 0, p_r = 1): maximize served count.
+	AdvServedCount AdversaryVariant = iota
+	// AdvRevenue is Lemma 2 (α = c_w, p_r = c_r·dis): maximize revenue.
+	AdvRevenue
+	// AdvDistance is Lemma 3 (α = 1, p_r = ∞ modeled as a huge penalty):
+	// minimize distance while serving all requests.
+	AdvDistance
+)
+
+// String names the variant.
+func (v AdversaryVariant) String() string {
+	switch v {
+	case AdvServedCount:
+		return "served-count"
+	case AdvRevenue:
+		return "revenue"
+	case AdvDistance:
+		return "distance"
+	default:
+		return "unknown"
+	}
+}
+
+// AdversarialInstance is one draw from the lower-bound distribution χ of
+// the competitive-hardness proofs: an undirected cycle of nVertices unit
+// edges, a single worker of capacity 2 at vertex 0, and one request
+// released at time |V| whose origin is uniform over the vertices. An
+// omniscient (offline) algorithm always serves the request with minimal
+// cost; any online algorithm fails with probability → 1 as |V| grows,
+// which is exactly the unbounded-ratio phenomenon of Theorem 1.
+type AdversarialInstance struct {
+	Variant AdversaryVariant
+	Graph   *roadnet.Graph
+	Worker  *core.Worker
+	Request *core.Request
+	// OptCost is the offline optimum's unified cost: the adversary-aware
+	// solution moves the worker to o_r during [0, |V|] and serves it.
+	OptCost float64
+	// Epsilon is the deadline slack ε of the construction.
+	Epsilon float64
+}
+
+// NewAdversarialInstance draws one instance. nVertices must be ≥ 4 and
+// even, matching the proof's setup.
+func NewAdversarialInstance(v AdversaryVariant, nVertices int, seed int64) (*AdversarialInstance, error) {
+	if nVertices < 4 || nVertices%2 != 0 {
+		return nil, fmt.Errorf("workload: adversary needs an even |V| ≥ 4, got %d", nVertices)
+	}
+	g, err := roadnet.CycleGraph(nVertices)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const eps = 0.5 // ε: less than one unit edge, so only exact position serves
+
+	origin := roadnet.VertexID(rng.Intn(nVertices))
+	release := float64(nVertices)
+	req := &core.Request{
+		ID:       0,
+		Origin:   origin,
+		Dest:     origin, // Lemma 1/3: d_r = o_r
+		Release:  release,
+		Deadline: release + eps,
+		Penalty:  1, // Lemma 1's p_r = K_r = 1
+		Capacity: 1,
+	}
+	opt := 0.0 // serving a zero-length trip from o_r costs nothing extra
+
+	switch v {
+	case AdvRevenue:
+		// Lemma 2: d_r at cycle distance |V|/2, c_r > 2·c_w with c_w = 1.
+		req.Dest = roadnet.VertexID((int(origin) + nVertices/2) % nVertices)
+		cr := 3.0
+		req.Penalty = cr * float64(nVertices/2)
+		req.Deadline = release + float64(nVertices/2) + eps
+		// Offline: drive ≤ |V|/2 to o_r in time, then |V|/2 to d_r.
+		opt = float64(nVertices)
+	case AdvDistance:
+		// Lemma 3: p_r = ∞; any rejection blows the objective up.
+		req.Penalty = 1e18
+	}
+
+	w := &core.Worker{ID: 0, Capacity: 2, Route: core.Route{Loc: 0}}
+	return &AdversarialInstance{
+		Variant: v, Graph: g, Worker: w, Request: req,
+		OptCost: opt, Epsilon: eps,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+// The stream format is line-oriented, mirroring the shape of the paper's
+// trip records (pickup, drop-off, release time) plus the URPSM fields:
+//
+//	urpsm-workload 1
+//	w <numWorkers>
+//	<loc> <capacity>                                  (numWorkers lines)
+//	r <numRequests>
+//	<origin> <dest> <release> <deadline> <penalty> <capacity>
+//
+// It lets cmd/netgen persist generated workloads so experiments replay
+// identical inputs.
+
+const workloadHeader = "urpsm-workload 1"
+
+// WriteStream serializes the instance's workers and requests.
+func WriteStream(w io.Writer, inst *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, workloadHeader)
+	fmt.Fprintf(bw, "w %d\n", len(inst.Workers))
+	for _, wk := range inst.Workers {
+		fmt.Fprintf(bw, "%d %d\n", wk.Route.Loc, wk.Capacity)
+	}
+	fmt.Fprintf(bw, "r %d\n", len(inst.Requests))
+	for _, r := range inst.Requests {
+		fmt.Fprintf(bw, "%d %d %.3f %.3f %.3f %d\n",
+			r.Origin, r.Dest, r.Release, r.Deadline, r.Penalty, r.Capacity)
+	}
+	return bw.Flush()
+}
+
+// ReadStream parses a workload previously produced by WriteStream and
+// attaches it to graph g (validating vertex ranges).
+func ReadStream(rd io.Reader, g *roadnet.Graph) (*Instance, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := func() (string, error) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	hdr, err := line()
+	if err != nil {
+		return nil, err
+	}
+	if hdr != workloadHeader {
+		return nil, fmt.Errorf("workload: bad header %q", hdr)
+	}
+
+	wline, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var nw int
+	if _, err := fmt.Sscanf(wline, "w %d", &nw); err != nil || nw < 0 {
+		return nil, fmt.Errorf("workload: bad worker count %q", wline)
+	}
+	nv := int64(g.NumVertices())
+	inst := &Instance{Graph: g}
+	for i := 0; i < nw; i++ {
+		s, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("workload: worker %d: %w", i, err)
+		}
+		f := strings.Fields(s)
+		if len(f) != 2 {
+			return nil, fmt.Errorf("workload: worker %d: bad line %q", i, s)
+		}
+		loc, err1 := strconv.ParseInt(f[0], 10, 32)
+		cap64, err2 := strconv.ParseInt(f[1], 10, 32)
+		if err1 != nil || err2 != nil || loc < 0 || loc >= nv || cap64 < 1 {
+			return nil, fmt.Errorf("workload: worker %d: bad fields %q", i, s)
+		}
+		inst.Workers = append(inst.Workers, &core.Worker{
+			ID:       core.WorkerID(i),
+			Capacity: int(cap64),
+			Route:    core.Route{Loc: roadnet.VertexID(loc)},
+		})
+	}
+
+	rline, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var nr int
+	if _, err := fmt.Sscanf(rline, "r %d", &nr); err != nil || nr < 0 {
+		return nil, fmt.Errorf("workload: bad request count %q", rline)
+	}
+	for i := 0; i < nr; i++ {
+		s, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("workload: request %d: %w", i, err)
+		}
+		f := strings.Fields(s)
+		if len(f) != 6 {
+			return nil, fmt.Errorf("workload: request %d: bad line %q", i, s)
+		}
+		o, err1 := strconv.ParseInt(f[0], 10, 32)
+		d, err2 := strconv.ParseInt(f[1], 10, 32)
+		tr, err3 := strconv.ParseFloat(f[2], 64)
+		er, err4 := strconv.ParseFloat(f[3], 64)
+		pr, err5 := strconv.ParseFloat(f[4], 64)
+		kr, err6 := strconv.ParseInt(f[5], 10, 32)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil {
+			return nil, fmt.Errorf("workload: request %d: bad fields %q", i, s)
+		}
+		if o < 0 || o >= nv || d < 0 || d >= nv {
+			return nil, fmt.Errorf("workload: request %d: vertex out of range", i)
+		}
+		req := &core.Request{
+			ID:       core.RequestID(i),
+			Origin:   roadnet.VertexID(o),
+			Dest:     roadnet.VertexID(d),
+			Release:  tr,
+			Deadline: er,
+			Penalty:  pr,
+			Capacity: int(kr),
+		}
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: request %d: %w", i, err)
+		}
+		inst.Requests = append(inst.Requests, req)
+	}
+	return inst, nil
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	inst := buildSmall(t)
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadStream(&buf, inst.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Workers) != len(inst.Workers) || len(back.Requests) != len(inst.Requests) {
+		t.Fatalf("sizes changed: w %d->%d r %d->%d",
+			len(inst.Workers), len(back.Workers), len(inst.Requests), len(back.Requests))
+	}
+	for i, w := range inst.Workers {
+		b := back.Workers[i]
+		if b.Route.Loc != w.Route.Loc || b.Capacity != w.Capacity {
+			t.Fatalf("worker %d changed: %+v vs %+v", i, b, w)
+		}
+	}
+	for i, r := range inst.Requests {
+		b := back.Requests[i]
+		if b.Origin != r.Origin || b.Dest != r.Dest || b.Capacity != r.Capacity {
+			t.Fatalf("request %d endpoints changed", i)
+		}
+		if math.Abs(b.Release-r.Release) > 1e-3 || math.Abs(b.Deadline-r.Deadline) > 1e-3 ||
+			math.Abs(b.Penalty-r.Penalty) > 1e-3 {
+			t.Fatalf("request %d timing/penalty changed", i)
+		}
+	}
+}
+
+func TestReadStreamRejectsGarbage(t *testing.T) {
+	inst := buildSmall(t)
+	g := inst.Graph
+	cases := []string{
+		"",
+		"wrong-header\nw 0\nr 0\n",
+		"urpsm-workload 1\nw -1\n",
+		"urpsm-workload 1\nw 1\n99999999 4\nr 0\n",         // loc out of range
+		"urpsm-workload 1\nw 1\n0 0\nr 0\n",                // zero capacity
+		"urpsm-workload 1\nw 0\nr 1\n0 1 0 -5 1 1\n",       // deadline < release
+		"urpsm-workload 1\nw 0\nr 1\n0 99999999 0 9 1 1\n", // dest out of range
+		"urpsm-workload 1\nw 0\nr 2\n0 1 0 9 1 1\n",        // truncated
+		"urpsm-workload 1\nw 0\nr 1\n0 1 0 9 1\n",          // missing field
+		"urpsm-workload 1\nw 0\nr 1\n0 1 x 9 1 1\n",        // non-numeric
+	}
+	for i, s := range cases {
+		if _, err := ReadStream(strings.NewReader(s), g); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

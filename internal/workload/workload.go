@@ -1,0 +1,257 @@
+// Package workload generates the simulation inputs of the paper's §6: a
+// city road network, a fleet of workers and a stream of dynamically
+// arriving requests. The real datasets (Didi GAIA Chengdu 2016-11-18 and
+// NYC TLC 2016-04-09) are not available offline, so presets synthesize
+// streams with the properties the algorithms are sensitive to: hotspot
+// origin/destination mixtures, rush-hour arrival intensity, the NYC
+// passenger-count distribution for K_r (which the paper itself reuses for
+// Chengdu), Gaussian worker capacities, and penalties proportional to the
+// trip's shortest distance. See DESIGN.md §4 for the substitution
+// rationale.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Params fully describes a workload.
+type Params struct {
+	Name string
+	Net  roadnet.GenConfig
+
+	NumRequests   int
+	NumWorkers    int
+	DurationSec   float64 // request arrivals span [0, DurationSec)
+	DeadlineSec   float64 // e_r = t_r + DeadlineSec (paper Table 5: 5..25 min)
+	PenaltyFactor float64 // p_r = PenaltyFactor · dis(o_r, d_r)
+	CapacityMean  float64 // K_w ~ round(N(mean,1)), clamped ≥ 1 (paper §6.1)
+
+	Hotspots      int     // number of demand hotspots
+	HotspotSigma  float64 // hotspot spread in meters
+	HotspotWeight float64 // fraction of endpoints drawn from hotspots
+	RushHours     bool    // overlay two rush-hour intensity peaks
+	Seed          int64
+}
+
+// Validate reports the first invalid field.
+func (p Params) Validate() error {
+	switch {
+	case p.NumRequests < 0:
+		return fmt.Errorf("workload: negative request count")
+	case p.NumWorkers < 0:
+		return fmt.Errorf("workload: negative worker count")
+	case p.DurationSec <= 0:
+		return fmt.Errorf("workload: duration must be positive")
+	case p.DeadlineSec <= 0:
+		return fmt.Errorf("workload: deadline must be positive")
+	case p.PenaltyFactor < 0:
+		return fmt.Errorf("workload: negative penalty factor")
+	case p.CapacityMean < 1:
+		return fmt.Errorf("workload: capacity mean below 1")
+	case p.HotspotWeight < 0 || p.HotspotWeight > 1:
+		return fmt.Errorf("workload: hotspot weight outside [0,1]")
+	}
+	return p.Net.Validate()
+}
+
+// NYCCapacityDist is the request-capacity (passenger count) distribution
+// of the NYC TLC data, which the paper uses for both datasets. Index i
+// holds P(K_r = i+1).
+var NYCCapacityDist = []float64{0.70, 0.15, 0.05, 0.04, 0.03, 0.03}
+
+// sampleCapacity draws K_r from NYCCapacityDist.
+func sampleCapacity(rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range NYCCapacityDist {
+		acc += p
+		if u < acc {
+			return i + 1
+		}
+	}
+	return len(NYCCapacityDist)
+}
+
+// NYCLike returns a preset shaped after the NYC experiment, shrunk by
+// scale ∈ (0, 1]: scale = 1 is the largest configuration meant for this
+// repository (≈26k vertices, 30k requests, 1.5k workers), not the paper's
+// full 807k-vertex dataset.
+func NYCLike(scale float64) Params {
+	return scalePreset(Params{
+		Name: "NYC",
+		Net: roadnet.GenConfig{
+			Rows: 160, Cols: 160, Spacing: 130, Jitter: 0.25,
+			ArterialEvery: 8, MotorwayRing: true, RemoveFrac: 0.10,
+			DetourMin: 1.05, DetourMax: 1.35, Seed: 4009,
+		},
+		NumRequests:   30000,
+		NumWorkers:    1500,
+		DurationSec:   6 * 3600,
+		DeadlineSec:   10 * 60,
+		PenaltyFactor: 10,
+		CapacityMean:  4,
+		Hotspots:      12,
+		HotspotSigma:  900,
+		HotspotWeight: 0.75,
+		RushHours:     true,
+		Seed:          409,
+	}, scale)
+}
+
+// ChengduLike returns the Chengdu-shaped preset (smaller network, denser
+// demand relative to fleet, lower penalties — paper Table 5).
+func ChengduLike(scale float64) Params {
+	return scalePreset(Params{
+		Name: "Chengdu",
+		Net: roadnet.GenConfig{
+			Rows: 110, Cols: 110, Spacing: 150, Jitter: 0.3,
+			ArterialEvery: 7, MotorwayRing: true, RemoveFrac: 0.12,
+			DetourMin: 1.05, DetourMax: 1.4, Seed: 1118,
+		},
+		NumRequests:   15000,
+		NumWorkers:    600,
+		DurationSec:   6 * 3600,
+		DeadlineSec:   10 * 60,
+		PenaltyFactor: 10,
+		CapacityMean:  4,
+		Hotspots:      8,
+		HotspotSigma:  800,
+		HotspotWeight: 0.7,
+		RushHours:     true,
+		Seed:          1811,
+	}, scale)
+}
+
+func scalePreset(p Params, scale float64) Params {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	lin := math.Sqrt(scale) // network side scales with sqrt to keep density
+	p.Net.Rows = max2(8, int(float64(p.Net.Rows)*lin))
+	p.Net.Cols = max2(8, int(float64(p.Net.Cols)*lin))
+	p.NumRequests = max2(50, int(float64(p.NumRequests)*scale))
+	p.NumWorkers = max2(5, int(float64(p.NumWorkers)*scale))
+	return p
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Instance is a fully materialized workload.
+type Instance struct {
+	Params   Params
+	Graph    *roadnet.Graph
+	Requests []*core.Request
+	Workers  []*core.Worker
+}
+
+// Build materializes the workload. The dist oracle is used once per
+// request to set the distance-proportional penalty (and nothing else).
+func Build(p Params, dist core.DistFunc) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := roadnet.Generate(p.Net)
+	if err != nil {
+		return nil, err
+	}
+	return BuildOn(p, g, dist)
+}
+
+// BuildOn materializes the workload on an existing graph (so sweeps can
+// share one graph and its distance oracle across parameter settings).
+func BuildOn(p Params, g *roadnet.Graph, dist core.DistFunc) (*Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	loc := roadnet.NewVertexLocator(g, 0)
+	b := g.Bounds()
+
+	hotspots := make([]geo.Point, p.Hotspots)
+	for i := range hotspots {
+		hotspots[i] = geo.Point{
+			X: b.Min.X + rng.Float64()*b.Width(),
+			Y: b.Min.Y + rng.Float64()*b.Height(),
+		}
+	}
+	samplePoint := func() geo.Point {
+		if len(hotspots) > 0 && rng.Float64() < p.HotspotWeight {
+			h := hotspots[rng.Intn(len(hotspots))]
+			return geo.Point{
+				X: h.X + rng.NormFloat64()*p.HotspotSigma,
+				Y: h.Y + rng.NormFloat64()*p.HotspotSigma,
+			}
+		}
+		return geo.Point{
+			X: b.Min.X + rng.Float64()*b.Width(),
+			Y: b.Min.Y + rng.Float64()*b.Height(),
+		}
+	}
+
+	reqs := make([]*core.Request, 0, p.NumRequests)
+	for i := 0; i < p.NumRequests; i++ {
+		o := loc.Nearest(samplePoint())
+		d := loc.Nearest(samplePoint())
+		for tries := 0; d == o && tries < 8; tries++ {
+			d = loc.Nearest(samplePoint())
+		}
+		if d == o {
+			continue
+		}
+		tr := sampleArrival(rng, p)
+		r := &core.Request{
+			ID:       core.RequestID(i),
+			Origin:   o,
+			Dest:     d,
+			Release:  tr,
+			Deadline: tr + p.DeadlineSec,
+			Penalty:  p.PenaltyFactor * dist(o, d),
+			Capacity: sampleCapacity(rng),
+		}
+		reqs = append(reqs, r)
+	}
+
+	workers := make([]*core.Worker, p.NumWorkers)
+	for i := range workers {
+		kw := int(math.Round(p.CapacityMean + rng.NormFloat64()))
+		if kw < 1 {
+			kw = 1
+		}
+		workers[i] = &core.Worker{
+			ID:       core.WorkerID(i),
+			Capacity: kw,
+			Route: core.Route{
+				Loc: roadnet.VertexID(rng.Intn(g.NumVertices())),
+			},
+		}
+	}
+	return &Instance{Params: p, Graph: g, Requests: reqs, Workers: workers}, nil
+}
+
+// sampleArrival draws a release time in [0, DurationSec): uniform
+// background plus, when RushHours is set, two Gaussian peaks at 1/4 and
+// 3/4 of the horizon (morning and evening rush).
+func sampleArrival(rng *rand.Rand, p Params) float64 {
+	if p.RushHours && rng.Float64() < 0.5 {
+		c := p.DurationSec / 4
+		if rng.Float64() < 0.5 {
+			c = 3 * p.DurationSec / 4
+		}
+		t := c + rng.NormFloat64()*p.DurationSec/14
+		if t >= 0 && t < p.DurationSec {
+			return t
+		}
+	}
+	return rng.Float64() * p.DurationSec
+}

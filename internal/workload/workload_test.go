@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+)
+
+func smallParams() Params {
+	p := ChengduLike(0.02)
+	p.Net.Rows, p.Net.Cols = 20, 20
+	return p
+}
+
+func buildSmall(t *testing.T) *Instance {
+	t.Helper()
+	p := smallParams()
+	g, err := roadnet.Generate(p.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := shortest.NewBiDijkstra(g)
+	inst, err := BuildOn(p, g, d.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestBuildBasicShape(t *testing.T) {
+	inst := buildSmall(t)
+	p := inst.Params
+	if len(inst.Requests) < p.NumRequests*9/10 {
+		t.Fatalf("too few requests: %d of %d", len(inst.Requests), p.NumRequests)
+	}
+	if len(inst.Workers) != p.NumWorkers {
+		t.Fatalf("workers=%d want %d", len(inst.Workers), p.NumWorkers)
+	}
+	n := inst.Graph.NumVertices()
+	for _, r := range inst.Requests {
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if int(r.Origin) >= n || int(r.Dest) >= n || r.Origin == r.Dest {
+			t.Fatalf("bad endpoints: %d %d", r.Origin, r.Dest)
+		}
+		if r.Release < 0 || r.Release >= p.DurationSec {
+			t.Fatalf("release %v outside horizon", r.Release)
+		}
+		if math.Abs(r.Deadline-r.Release-p.DeadlineSec) > 1e-9 {
+			t.Fatalf("deadline not release+param")
+		}
+		if r.Capacity < 1 || r.Capacity > len(NYCCapacityDist) {
+			t.Fatalf("capacity %d out of range", r.Capacity)
+		}
+		if r.Penalty <= 0 {
+			t.Fatalf("penalty %v not positive", r.Penalty)
+		}
+	}
+	for i, w := range inst.Workers {
+		if int(w.ID) != i {
+			t.Fatal("worker IDs must be dense")
+		}
+		if w.Capacity < 1 {
+			t.Fatalf("worker capacity %d", w.Capacity)
+		}
+		if int(w.Route.Loc) >= n {
+			t.Fatal("worker location out of range")
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := buildSmall(t)
+	b := buildSmall(t)
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("same seed, different request count")
+	}
+	for i := range a.Requests {
+		ra, rb := a.Requests[i], b.Requests[i]
+		if ra.Origin != rb.Origin || ra.Dest != rb.Dest || ra.Release != rb.Release {
+			t.Fatalf("request %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestPenaltyProportionalToDistance(t *testing.T) {
+	inst := buildSmall(t)
+	d := shortest.NewBiDijkstra(inst.Graph)
+	for _, r := range inst.Requests[:50] {
+		want := inst.Params.PenaltyFactor * d.Dist(r.Origin, r.Dest)
+		if math.Abs(r.Penalty-want) > 1e-6*(1+want) {
+			t.Fatalf("penalty %v want %v", r.Penalty, want)
+		}
+	}
+}
+
+func TestCapacityDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, len(NYCCapacityDist)+1)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[sampleCapacity(rng)]++
+	}
+	for k := 1; k <= len(NYCCapacityDist); k++ {
+		got := float64(counts[k]) / n
+		want := NYCCapacityDist[k-1]
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("P(K=%d)=%v want %v", k, got, want)
+		}
+	}
+}
+
+func TestScalePreset(t *testing.T) {
+	full := NYCLike(1)
+	small := NYCLike(0.1)
+	if small.NumRequests >= full.NumRequests || small.NumWorkers >= full.NumWorkers {
+		t.Fatal("scaling did not shrink workload")
+	}
+	if small.Net.Rows >= full.Net.Rows {
+		t.Fatal("scaling did not shrink network")
+	}
+	// Request/worker ratio approximately preserved.
+	fr := float64(full.NumRequests) / float64(full.NumWorkers)
+	sr := float64(small.NumRequests) / float64(small.NumWorkers)
+	if sr < fr/2 || sr > fr*2 {
+		t.Fatalf("ratio drifted: %v vs %v", sr, fr)
+	}
+	// Invalid scales fall back to 1.
+	if NYCLike(-3).NumRequests != full.NumRequests {
+		t.Fatal("negative scale not handled")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	ok := smallParams()
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(*Params)) Params {
+		p := smallParams()
+		f(&p)
+		return p
+	}
+	bad := []Params{
+		mut(func(p *Params) { p.NumRequests = -1 }),
+		mut(func(p *Params) { p.NumWorkers = -1 }),
+		mut(func(p *Params) { p.DurationSec = 0 }),
+		mut(func(p *Params) { p.DeadlineSec = 0 }),
+		mut(func(p *Params) { p.PenaltyFactor = -1 }),
+		mut(func(p *Params) { p.CapacityMean = 0 }),
+		mut(func(p *Params) { p.HotspotWeight = 1.5 }),
+		mut(func(p *Params) { p.Net.Rows = 0 }),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestRushHourShape(t *testing.T) {
+	p := smallParams()
+	p.RushHours = true
+	rng := rand.New(rand.NewSource(2))
+	// Count arrivals near the two peaks vs the middle trough.
+	peak, trough := 0, 0
+	const n = 20000
+	w := p.DurationSec / 10
+	for i := 0; i < n; i++ {
+		tr := sampleArrival(rng, p)
+		if tr < 0 || tr >= p.DurationSec {
+			t.Fatalf("arrival %v outside horizon", tr)
+		}
+		if math.Abs(tr-p.DurationSec/4) < w/2 || math.Abs(tr-3*p.DurationSec/4) < w/2 {
+			peak++
+		}
+		if math.Abs(tr-p.DurationSec/2) < w/2 {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Fatalf("rush hours missing: peak=%d trough=%d", peak, trough)
+	}
+}
+
+func TestAdversarialInstance(t *testing.T) {
+	for _, v := range []AdversaryVariant{AdvServedCount, AdvRevenue, AdvDistance} {
+		inst, err := NewAdversarialInstance(v, 16, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Graph.NumVertices() != 16 {
+			t.Fatal("wrong cycle size")
+		}
+		if inst.Worker.Capacity != 2 || inst.Worker.Route.Loc != 0 {
+			t.Fatal("worker setup wrong")
+		}
+		r := inst.Request
+		if r.Release != 16 {
+			t.Fatalf("release=%v want |V|", r.Release)
+		}
+		if v == AdvRevenue {
+			d := shortest.NewDijkstra(inst.Graph)
+			if got := d.Dist(r.Origin, r.Dest); math.Abs(got-8) > 1e-9 {
+				t.Fatalf("revenue variant trip length=%v want |V|/2", got)
+			}
+		} else if r.Origin != r.Dest {
+			t.Fatal("o_r must equal d_r")
+		}
+		if v.String() == "unknown" {
+			t.Fatal("variant string")
+		}
+	}
+	if _, err := NewAdversarialInstance(AdvServedCount, 7, 1); err == nil {
+		t.Fatal("odd |V| accepted")
+	}
+	if _, err := NewAdversarialInstance(AdvServedCount, 2, 1); err == nil {
+		t.Fatal("tiny |V| accepted")
+	}
+}
+
+// TestAdversaryOriginUniform draws many instances and checks the origin is
+// spread over the cycle (the construction's key property).
+func TestAdversaryOriginUniform(t *testing.T) {
+	const nV = 10
+	seen := map[roadnet.VertexID]int{}
+	for s := int64(0); s < 400; s++ {
+		inst, err := NewAdversarialInstance(AdvServedCount, nV, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[inst.Request.Origin]++
+	}
+	for v := roadnet.VertexID(0); v < nV; v++ {
+		if seen[v] == 0 {
+			t.Fatalf("origin never hit vertex %d", v)
+		}
+	}
+}
