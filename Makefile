@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench check golden
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Quick benchmark pass: compiles every benchmark and runs one iteration.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Full benchmark suite (regenerates the paper's tables and figures).
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Regenerate golden files after a deliberate formatter change.
+golden:
+	$(GO) test ./internal/expt -run Golden -update
+
+check: build vet test race

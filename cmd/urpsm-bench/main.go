@@ -25,15 +25,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4|fig3|fig4|fig5|fig6|fig7|hardness|insertion|ablation|all")
-		dataset = flag.String("dataset", "both", "dataset: chengdu|nyc|both")
-		scale   = flag.Float64("scale", 0.03, "workload scale factor in (0,1]")
-		repeat  = flag.Int("repeat", 1, "repetitions per configuration (paper: 30)")
-		algos   = flag.String("algos", strings.Join(expt.Algorithms, ","), "comma-separated algorithms")
-		csvDir  = flag.String("csv", "", "also write CSV files into this directory")
+		exp      = flag.String("exp", "all", "experiment: table4|fig3|fig4|fig5|fig6|fig7|hardness|insertion|ablation|parallel|all")
+		dataset  = flag.String("dataset", "both", "dataset: chengdu|nyc|both")
+		scale    = flag.Float64("scale", 0.03, "workload scale factor in (0,1]")
+		repeat   = flag.Int("repeat", 1, "repetitions per configuration (paper: 30)")
+		algos    = flag.String("algos", strings.Join(expt.Algorithms, ","), "comma-separated algorithms")
+		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
+		parallel = flag.Int("parallel", 0, "plan pruneGreedyDP/GreedyDP with a parallel dispatcher pool of this size (0 = serial); also the largest pool of -exp parallel")
 	)
 	flag.Parse()
-	if err := run(*exp, *dataset, *scale, *repeat, splitList(*algos), *csvDir); err != nil {
+	if err := run(*exp, *dataset, *scale, *repeat, splitList(*algos), *csvDir, *parallel); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-bench:", err)
 		os.Exit(1)
 	}
@@ -49,7 +50,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir string) error {
+func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir string, parallel int) error {
 	var presets []workload.Params
 	switch strings.ToLower(dataset) {
 	case "chengdu":
@@ -93,8 +94,22 @@ func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir 
 		if err != nil {
 			return err
 		}
+		runner.Parallel = parallel
 		fmt.Printf("   |V|=%d |E|=%d avg hub label=%.1f\n",
 			runner.G.NumVertices(), runner.G.NumEdges(), runner.Hub.AvgLabelSize())
+
+		if wantFig("parallel") {
+			pools := []int{2, 4, 8}
+			if parallel > 1 && parallel != 2 && parallel != 4 && parallel != 8 {
+				pools = append(pools, parallel)
+			}
+			pts, err := runner.ParallelSweep(pools)
+			if err != nil {
+				return err
+			}
+			fmt.Print(expt.FormatParallelSweep(preset.Name, pts))
+			fmt.Println()
+		}
 
 		if wantFig("table4") {
 			st, err := runner.Table4()

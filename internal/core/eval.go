@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// This file factors the planning-phase scan of Algorithm 5 out of Greedy
+// so the parallel dispatcher (internal/dispatch) can run the identical
+// scan concurrently: candidates are yielded by a cursor (a plain counter
+// serially, a shared atomic counter in parallel) and the Lemma 8 prune
+// reads a bound that concurrent scans shrink cooperatively. The scan is
+// written so that its outcome — after the (Δ*, WorkerID) merge — is
+// bit-identical no matter how candidates are interleaved across scans.
+
+// AtomicBound is a monotonically non-increasing shared float64: the best
+// exact Δ* found so far across all scans of one planning phase. It starts
+// at +Inf and only ever shrinks, so a reader can safely use a stale value
+// — staleness makes pruning less aggressive, never incorrect.
+type AtomicBound struct{ bits atomic.Uint64 }
+
+// NewAtomicBound returns a bound initialized to +Inf.
+func NewAtomicBound() *AtomicBound {
+	b := &AtomicBound{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// Load returns the current bound.
+func (b *AtomicBound) Load() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// Shrink lowers the bound to v when v is smaller; safe for any number of
+// concurrent callers.
+func (b *AtomicBound) Shrink(v float64) {
+	for {
+		old := b.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// SortWorkerBounds orders lbs by (LBΔ*, WorkerID) ascending — the
+// pruneGreedyDP scan order. The worker-ID tie-break makes the order a
+// total one, so serial and parallel planners sort identically.
+func SortWorkerBounds(lbs []WorkerBound) {
+	sort.Slice(lbs, func(i, j int) bool {
+		if lbs[i].LB != lbs[j].LB {
+			return lbs[i].LB < lbs[j].LB
+		}
+		return lbs[i].Worker.ID < lbs[j].Worker.ID
+	})
+}
+
+// BetterCandidate reports whether candidate (w2, ins2) beats (w1, ins1)
+// under the planner's deterministic (Δ*, WorkerID) tie-break. A nil w1
+// always loses, a nil w2 never wins.
+func BetterCandidate(w1 *Worker, ins1 Insertion, w2 *Worker, ins2 Insertion) bool {
+	if w2 == nil {
+		return false
+	}
+	if w1 == nil {
+		return true
+	}
+	if ins2.Delta != ins1.Delta {
+		return ins2.Delta < ins1.Delta
+	}
+	return w2.ID < w1.ID
+}
+
+// EvalCandidatesSerial is the serial planning-phase scan of Algorithm 5:
+// the same loop as EvalCandidates without the shared-cursor/atomic
+// machinery, so the serial planner's hot path — the paper's measured
+// response time — pays no allocations or CAS operations. The two must
+// stay in lockstep; the equivalence suite in internal/dispatch
+// machine-checks that they select identical winners.
+func EvalCandidatesSerial(insert InsertionFunc, prune bool, lbs []WorkerBound,
+	req *Request, L float64, dist DistFunc) (*Worker, Insertion) {
+	var bestW *Worker
+	bestIns := Infeasible
+	for _, wb := range lbs {
+		// Strictly-less break keeps the scan order-independent: every
+		// worker whose exact Δ could tie the winner has LB ≤ Δ and is
+		// therefore still scanned (Lemma 8).
+		if prune && bestW != nil && bestIns.Delta < wb.LB {
+			break
+		}
+		w := wb.Worker
+		ins := insert(&w.Route, w.Capacity, req, L, dist)
+		if !ins.OK {
+			continue
+		}
+		if BetterCandidate(bestW, bestIns, w, ins) {
+			bestW = w
+			bestIns = ins
+		}
+	}
+	return bestW, bestIns
+}
+
+// EvalCandidates evaluates exact insertions for the candidates of lbs
+// yielded by next — a cursor returning successive indices (out-of-range
+// ends the scan) — and returns the scan's local best under the
+// (Δ*, WorkerID) tie-break. Every feasible Δ* found shrinks bound; with
+// prune enabled the scan stops at the first candidate whose lower bound
+// strictly exceeds the bound (Lemma 8), which requires lbs sorted by
+// SortWorkerBounds and indices yielded in ascending order.
+//
+// The strictly-less stop keeps the scan order-independent: a candidate is
+// skipped only when bound < LB ≤ Δ, and since the bound never goes below
+// the final best Δ*, the skipped worker's exact Δ is strictly worse than
+// the final winner's — it could not even tie. Concurrent scans sharing
+// one bound and one cursor therefore select, after merging local bests
+// with BetterCandidate, exactly the worker the serial scan selects.
+func EvalCandidates(insert InsertionFunc, prune bool, lbs []WorkerBound,
+	req *Request, L float64, dist DistFunc, bound *AtomicBound, next func() int) (*Worker, Insertion) {
+	var bestW *Worker
+	bestIns := Infeasible
+	for {
+		i := next()
+		if i < 0 || i >= len(lbs) {
+			return bestW, bestIns
+		}
+		wb := lbs[i]
+		if prune && bound.Load() < wb.LB {
+			// Ascending LBs: every candidate after i is prunable too.
+			return bestW, bestIns
+		}
+		w := wb.Worker
+		ins := insert(&w.Route, w.Capacity, req, L, dist)
+		if !ins.OK {
+			continue
+		}
+		if BetterCandidate(bestW, bestIns, w, ins) {
+			bestW = w
+			bestIns = ins
+		}
+		bound.Shrink(ins.Delta)
+	}
+}

@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // Result records the outcome of handling one request.
 type Result struct {
 	Served bool
@@ -127,36 +125,13 @@ func (p *Greedy) Plan(now float64, req *Request) (*Worker, Insertion, float64) {
 
 	// Phase 2: planning. With pruning, scan workers in ascending LBΔ*
 	// order and stop once the best exact Δ* undercuts the next lower
-	// bound (Lemma 8).
+	// bound (Lemma 8). The scan lives in EvalCandidatesSerial; the
+	// parallel dispatcher runs the concurrent twin (EvalCandidates) with
+	// a shared cursor and bound, provably selecting the same winner.
 	if p.cfg.Prune {
-		sort.Slice(lbs, func(i, j int) bool {
-			if lbs[i].LB != lbs[j].LB {
-				return lbs[i].LB < lbs[j].LB
-			}
-			return lbs[i].Worker.ID < lbs[j].Worker.ID
-		})
+		SortWorkerBounds(lbs)
 	}
-	var bestW *Worker
-	bestIns := Infeasible
-	for _, wb := range lbs {
-		// Strictly-less break keeps the scan order-independent: every
-		// worker whose exact Δ could tie the winner has LB ≤ Δ and is
-		// therefore still scanned, so the (Δ, worker ID) tie-break below
-		// selects the same winner whether or not pruning is enabled.
-		if p.cfg.Prune && bestW != nil && bestIns.Delta < wb.LB {
-			break
-		}
-		w := wb.Worker
-		ins := p.cfg.Insertion(&w.Route, w.Capacity, req, L, f.Dist)
-		if !ins.OK {
-			continue
-		}
-		if bestW == nil || ins.Delta < bestIns.Delta ||
-			(ins.Delta == bestIns.Delta && w.ID < bestW.ID) {
-			bestW = w
-			bestIns = ins
-		}
-	}
+	bestW, bestIns := EvalCandidatesSerial(p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist)
 	if bestW == nil {
 		return nil, Infeasible, L
 	}

@@ -1,0 +1,266 @@
+// Package dispatch is the parallel planning engine: it fans the two
+// phases of Algorithm 5 (Tong et al., VLDB'18) out across a bounded
+// goroutine pool while producing bit-identical results to the serial
+// core.Greedy planner.
+//
+// Both phases parallelize because their per-worker work is independent:
+//
+//   - Decision (Algorithm 4): LBΔ* for each candidate worker touches only
+//     that worker's route and the road network's coordinates, so the
+//     lower bounds are computed concurrently into a position-indexed
+//     slice and compacted in candidate order afterwards — the resulting
+//     WorkerBound slice is exactly the one core.Decide builds.
+//
+//   - Planning (Algorithm 5): exact insertions for different workers are
+//     independent. The LB-sorted candidate list is consumed through a
+//     shared atomic cursor, so goroutines cooperatively scan it in the
+//     serial order; every feasible Δ* shrinks a shared AtomicBound, and a
+//     goroutine stops at the first candidate whose LB strictly exceeds
+//     the bound (Lemma 8). Because the bound never drops below the final
+//     best Δ*, a pruned candidate's exact Δ is strictly worse than the
+//     winner's — it could not even tie — so merging the per-goroutine
+//     local bests with the serial (Δ*, WorkerID) tie-break selects
+//     exactly the worker the serial scan selects.
+//
+// Determinism therefore does not depend on scheduling: only response
+// times vary across runs, never decisions, assignments or Δ* values.
+// The property-based suite in equivalence_test.go machine-checks this
+// against core.Greedy over randomized workloads.
+//
+// The planner requires a concurrency-safe distance oracle behind
+// Fleet.Dist (e.g. shortest.ShardedCached over hub labels, with
+// shortest.Locked around non-reentrant oracles) and relies on the
+// read-write-locked spatial grid for candidate retrieval.
+package dispatch
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Config parameterizes the parallel planner.
+type Config struct {
+	// Plan is the planning configuration shared with the serial planner
+	// (α, pruning, post-check, insertion operator).
+	Plan core.Config
+	// Pool is the number of planning goroutines (≤ 1 plans serially).
+	Pool int
+	// SerialCutoff is the candidate count below which the request is
+	// planned serially — goroutine fan-out costs more than it saves on
+	// tiny candidate sets. ≤ 0 selects DefaultSerialCutoff.
+	SerialCutoff int
+}
+
+// DefaultSerialCutoff is the candidate count below which fan-out is not
+// worth its overhead; measured on the insertion microbenchmarks.
+const DefaultSerialCutoff = 16
+
+// ParallelGreedy is the parallel pruneGreedyDP/GreedyDP planner. It
+// implements core.Planner and is a drop-in replacement for core.Greedy
+// with identical outputs.
+type ParallelGreedy struct {
+	fleet  *core.Fleet
+	cfg    core.Config
+	pool   int
+	cutoff int
+	name   string
+}
+
+// NewParallelGreedy returns a parallel greedy planner with full
+// configuration control. A nil insertion operator selects
+// core.LinearDPInsertion, like core.NewGreedy.
+func NewParallelGreedy(fleet *core.Fleet, cfg Config, name string) *ParallelGreedy {
+	if cfg.Plan.Insertion == nil {
+		cfg.Plan.Insertion = core.LinearDPInsertion
+	}
+	if cfg.Pool < 1 {
+		cfg.Pool = 1
+	}
+	if cfg.SerialCutoff <= 0 {
+		cfg.SerialCutoff = DefaultSerialCutoff
+	}
+	return &ParallelGreedy{
+		fleet:  fleet,
+		cfg:    cfg.Plan,
+		pool:   cfg.Pool,
+		cutoff: cfg.SerialCutoff,
+		name:   name,
+	}
+}
+
+// NewParallelPruneGreedyDP returns the parallel counterpart of the
+// paper's pruneGreedyDP planner with the given pool size.
+func NewParallelPruneGreedyDP(fleet *core.Fleet, alpha float64, pool int) *ParallelGreedy {
+	return NewParallelGreedy(fleet, Config{
+		Plan: core.Config{Alpha: alpha, Prune: true, PostCheck: true},
+		Pool: pool,
+	}, fmt.Sprintf("pruneGreedyDP-p%d", pool))
+}
+
+// NewParallelGreedyDP returns the parallel GreedyDP ablation (no Lemma 8
+// pruning) with the given pool size.
+func NewParallelGreedyDP(fleet *core.Fleet, alpha float64, pool int) *ParallelGreedy {
+	return NewParallelGreedy(fleet, Config{
+		Plan: core.Config{Alpha: alpha, PostCheck: true},
+		Pool: pool,
+	}, fmt.Sprintf("GreedyDP-p%d", pool))
+}
+
+// Name implements core.Planner.
+func (p *ParallelGreedy) Name() string { return p.name }
+
+// Pool returns the configured number of planning goroutines.
+func (p *ParallelGreedy) Pool() int { return p.pool }
+
+// OnRequest implements core.Planner: plan in parallel, apply serially.
+// Route mutation stays on the caller's goroutine, so the planner never
+// writes shared state concurrently.
+func (p *ParallelGreedy) OnRequest(now float64, req *core.Request) core.Result {
+	bestW, bestIns, L := p.Plan(now, req)
+	if bestW == nil {
+		return core.Result{}
+	}
+	if err := core.Apply(&bestW.Route, bestW.Capacity, req, bestIns, L, p.fleet.Dist); err != nil {
+		// An insertion reported feasible must apply cleanly; failure here
+		// is a programming error, not a runtime condition.
+		panic(err)
+	}
+	return core.Result{Served: true, Worker: bestW.ID, Delta: bestIns.Delta}
+}
+
+// Plan runs both phases of Algorithm 5 without mutating any route. Its
+// return value is bit-identical to core.Greedy.Plan on the same fleet
+// state, for any pool size.
+func (p *ParallelGreedy) Plan(now float64, req *core.Request) (*core.Worker, core.Insertion, float64) {
+	f := p.fleet
+	L := f.Dist(req.Origin, req.Dest) // the decision phase's one query
+
+	cands := f.Candidates(req, now, L)
+	if len(cands) == 0 {
+		return nil, core.Infeasible, L
+	}
+	parallel := p.pool > 1 && len(cands) >= p.cutoff
+
+	// Phase 1: decision (Algorithm 4).
+	var (
+		lbs    []core.WorkerBound
+		reject bool
+	)
+	if parallel {
+		lbs, reject = p.parallelDecide(cands, req, L)
+	} else {
+		lbs, reject = core.Decide(p.cfg.Alpha, cands, req, f.Graph, L)
+	}
+	if reject {
+		return nil, core.Infeasible, L
+	}
+
+	// Phase 2: planning.
+	if p.cfg.Prune {
+		core.SortWorkerBounds(lbs)
+	}
+	var (
+		bestW   *core.Worker
+		bestIns core.Insertion
+	)
+	if parallel && len(lbs) > 1 {
+		bestW, bestIns = p.parallelEval(lbs, req, L)
+	} else {
+		bestW, bestIns = core.EvalCandidatesSerial(p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist)
+	}
+	if bestW == nil {
+		return nil, core.Infeasible, L
+	}
+	if p.cfg.PostCheck && p.cfg.Alpha*bestIns.Delta > req.Penalty {
+		return nil, core.Infeasible, L
+	}
+	return bestW, bestIns, L
+}
+
+// parallelDecide computes LBΔ* for every candidate concurrently and
+// compacts the feasible ones in candidate order, replicating core.Decide
+// exactly: same slice order, same minimum, same reject decision.
+func (p *ParallelGreedy) parallelDecide(cands []*core.Worker, req *core.Request, L float64) ([]core.WorkerBound, bool) {
+	bounds := make([]float64, len(cands))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < p.workersFor(len(cands)); g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(cands) {
+					return
+				}
+				w := cands[i]
+				bounds[i] = core.LowerBoundInsertion(&w.Route, w.Capacity, req, p.fleet.Graph, L)
+			}
+		}()
+	}
+	wg.Wait()
+
+	lbs := make([]core.WorkerBound, 0, len(cands))
+	minLB := math.Inf(1)
+	for i, lb := range bounds {
+		if math.IsInf(lb, 1) {
+			continue // provably infeasible for this worker
+		}
+		lbs = append(lbs, core.WorkerBound{LB: lb, Worker: cands[i]})
+		if lb < minLB {
+			minLB = lb
+		}
+	}
+	if len(lbs) == 0 {
+		return nil, true
+	}
+	// Reject when p_r < α·min LB (Algorithm 4 line 5).
+	return lbs, req.Penalty < p.cfg.Alpha*minLB
+}
+
+// parallelEval scans the (sorted, when pruning) candidate list through a
+// shared cursor with a cooperatively shrunk Lemma 8 bound, then merges
+// the per-goroutine local bests deterministically.
+func (p *ParallelGreedy) parallelEval(lbs []core.WorkerBound, req *core.Request, L float64) (*core.Worker, core.Insertion) {
+	nw := p.workersFor(len(lbs))
+	type localBest struct {
+		w   *core.Worker
+		ins core.Insertion
+	}
+	locals := make([]localBest, nw)
+	bound := core.NewAtomicBound()
+	var cursor atomic.Int64
+	next := func() int { return int(cursor.Add(1) - 1) }
+	var wg sync.WaitGroup
+	for g := 0; g < nw; g++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w, ins := core.EvalCandidates(p.cfg.Insertion, p.cfg.Prune, lbs, req, L, p.fleet.Dist, bound, next)
+			locals[slot] = localBest{w: w, ins: ins}
+		}(g)
+	}
+	wg.Wait()
+
+	var bestW *core.Worker
+	bestIns := core.Infeasible
+	for _, lb := range locals {
+		if core.BetterCandidate(bestW, bestIns, lb.w, lb.ins) {
+			bestW = lb.w
+			bestIns = lb.ins
+		}
+	}
+	return bestW, bestIns
+}
+
+// workersFor bounds the fan-out by both the pool and the work items.
+func (p *ParallelGreedy) workersFor(items int) int {
+	if items < p.pool {
+		return items
+	}
+	return p.pool
+}

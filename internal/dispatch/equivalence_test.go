@@ -1,0 +1,290 @@
+package dispatch_test
+
+// Determinism-equivalence harness: the parallel dispatcher is only
+// trustworthy because this suite machine-checks that its output is
+// bit-identical to the serial planner's. Two complementary checks:
+//
+//  1. End-to-end: serial Greedy and ParallelGreedy each drive a full
+//     simulation of the same randomized workload on independently built
+//     (identical) fleets; served sets, per-request worker assignments,
+//     Δ* values and final routes must match exactly.
+//
+//  2. Lockstep: a combined planner asks both planners for their decision
+//     on the *same* fleet state before every application, catching any
+//     divergence at the exact request where it first appears.
+//
+// Scenarios randomize α, worker capacity, deadlines, penalties, fleet
+// size and pool sizes 1–16.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// scenario is one randomized equivalence configuration.
+type scenario struct {
+	params workload.Params
+	alpha  float64
+	prune  bool
+	pool   int
+}
+
+// makeScenario derives a deterministic scenario from its index.
+func makeScenario(i int) scenario {
+	rng := rand.New(rand.NewSource(int64(i)*2654435761 + 17))
+	side := 7 + rng.Intn(6)
+	p := workload.Params{
+		Name: fmt.Sprintf("scen%03d", i),
+		Net: roadnet.GenConfig{
+			Rows: side, Cols: side,
+			Spacing:       110 + 60*rng.Float64(),
+			Jitter:        0.3 * rng.Float64(),
+			ArterialEvery: 3 + rng.Intn(3),
+			MotorwayRing:  rng.Intn(2) == 0,
+			RemoveFrac:    0.15 * rng.Float64(),
+			DetourMin:     1.02,
+			DetourMax:     1.25,
+			Seed:          int64(i)*31 + 7,
+		},
+		NumRequests:   30 + rng.Intn(50),
+		NumWorkers:    5 + rng.Intn(30),
+		DurationSec:   900 + 900*rng.Float64(),
+		DeadlineSec:   240 + 600*rng.Float64(),
+		PenaltyFactor: []float64{1, 2, 5, 10, 30}[rng.Intn(5)],
+		CapacityMean:  []float64{1, 2, 4, 6}[rng.Intn(4)],
+		Hotspots:      rng.Intn(4),
+		HotspotSigma:  500,
+		HotspotWeight: 0.5 * rng.Float64(),
+		RushHours:     rng.Intn(2) == 0,
+		Seed:          int64(i)*101 + 3,
+	}
+	return scenario{
+		params: p,
+		alpha:  []float64{0.5, 1, 1, 2}[rng.Intn(4)],
+		prune:  rng.Intn(4) != 0, // mostly pruneGreedyDP, sometimes GreedyDP
+		pool:   1 + rng.Intn(16), // pool sizes 1–16
+	}
+}
+
+// build materializes one scenario: graph, oracle, instance, fleet.
+func (s scenario) build(t *testing.T, sharded bool) (*core.Fleet, []*core.Request, *roadnet.Graph) {
+	t.Helper()
+	g, err := roadnet.Generate(s.params.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := shortest.BuildHubLabels(g)
+	var dist core.DistFunc
+	if sharded {
+		dist = shortest.NewShardedCached(hub, 1<<14, 16).Dist
+	} else {
+		dist = shortest.NewCached(shortest.NewCounting(hub), 1<<14).Dist
+	}
+	inst, err := workload.BuildOn(s.params, g, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := core.NewFleet(g, dist, inst.Workers, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet, inst.Requests, g
+}
+
+func (s scenario) serialPlanner(fleet *core.Fleet) *core.Greedy {
+	return core.NewGreedy(fleet, core.Config{
+		Alpha: s.alpha, Prune: s.prune, PostCheck: true,
+	}, "serial")
+}
+
+func (s scenario) parallelPlanner(fleet *core.Fleet) *dispatch.ParallelGreedy {
+	return dispatch.NewParallelGreedy(fleet, dispatch.Config{
+		Plan:         core.Config{Alpha: s.alpha, Prune: s.prune, PostCheck: true},
+		Pool:         s.pool,
+		SerialCutoff: 1, // force the parallel path even on tiny candidate sets
+	}, "parallel")
+}
+
+// recorder wraps a planner and captures every per-request Result.
+type recorder struct {
+	inner   core.Planner
+	results map[core.RequestID]core.Result
+}
+
+func record(inner core.Planner) *recorder {
+	return &recorder{inner: inner, results: map[core.RequestID]core.Result{}}
+}
+
+func (r *recorder) Name() string { return r.inner.Name() }
+
+func (r *recorder) OnRequest(now float64, req *core.Request) core.Result {
+	res := r.inner.OnRequest(now, req)
+	r.results[req.ID] = res
+	return res
+}
+
+// TestSerialParallelEquivalence is the end-to-end check over ≥ 100
+// randomized scenarios (24 under -short, e.g. in the race suite).
+func TestSerialParallelEquivalence(t *testing.T) {
+	n := 120
+	if testing.Short() {
+		n = 24
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		t.Run(fmt.Sprintf("scen%03d", i), func(t *testing.T) {
+			t.Parallel()
+			s := makeScenario(i)
+
+			fleetA, reqsA, gA := s.build(t, false)
+			fleetB, reqsB, gB := s.build(t, true)
+
+			serial := record(s.serialPlanner(fleetA))
+			parallel := record(s.parallelPlanner(fleetB))
+
+			engA := sim.NewEngine(fleetA, serial, shortest.NewBiDijkstra(gA), s.alpha)
+			engB := sim.NewEngine(fleetB, parallel, shortest.NewBiDijkstra(gB), s.alpha)
+			mA, err := engA.Run(reqsA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mB, err := engB.Run(reqsB)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if mA.Served != mB.Served {
+				t.Fatalf("served count: serial %d parallel %d (pool %d)", mA.Served, mB.Served, s.pool)
+			}
+			if mA.TotalDistance != mB.TotalDistance {
+				t.Fatalf("total distance: serial %v parallel %v", mA.TotalDistance, mB.TotalDistance)
+			}
+			if len(serial.results) != len(parallel.results) {
+				t.Fatalf("result count: serial %d parallel %d", len(serial.results), len(parallel.results))
+			}
+			for id, ra := range serial.results {
+				rb, ok := parallel.results[id]
+				if !ok {
+					t.Fatalf("request %d missing from parallel results", id)
+				}
+				if ra.Served != rb.Served || ra.Worker != rb.Worker || ra.Delta != rb.Delta {
+					t.Fatalf("request %d: serial %+v parallel %+v (pool %d)", id, ra, rb, s.pool)
+				}
+			}
+			for i, wa := range fleetA.Workers {
+				wb := fleetB.Workers[i]
+				if len(wa.Route.Stops) != len(wb.Route.Stops) {
+					t.Fatalf("worker %d: route length %d vs %d", i, len(wa.Route.Stops), len(wb.Route.Stops))
+				}
+				for k, sa := range wa.Route.Stops {
+					sb := wb.Route.Stops[k]
+					if sa != sb || wa.Route.Arr[k] != wb.Route.Arr[k] {
+						t.Fatalf("worker %d stop %d: %+v@%v vs %+v@%v",
+							i, k, sa, wa.Route.Arr[k], sb, wb.Route.Arr[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// lockstep is a planner that runs serial and parallel planning on the
+// identical fleet state before every application, failing the test at the
+// first divergence.
+type lockstep struct {
+	t        *testing.T
+	fleet    *core.Fleet
+	serial   *core.Greedy
+	parallel *dispatch.ParallelGreedy
+}
+
+func (l *lockstep) Name() string { return "lockstep" }
+
+func (l *lockstep) OnRequest(now float64, req *core.Request) core.Result {
+	wa, ia, L := l.serial.Plan(now, req)
+	wb, ib, _ := l.parallel.Plan(now, req)
+	if (wa == nil) != (wb == nil) {
+		l.t.Fatalf("request %d: serial served=%v parallel served=%v", req.ID, wa != nil, wb != nil)
+	}
+	if wa == nil {
+		return core.Result{}
+	}
+	if wa.ID != wb.ID || ia.Delta != ib.Delta || ia.I != ib.I || ia.J != ib.J {
+		l.t.Fatalf("request %d: serial worker %d ins %+v; parallel worker %d ins %+v",
+			req.ID, wa.ID, ia, wb.ID, ib)
+	}
+	if err := core.Apply(&wa.Route, wa.Capacity, req, ia, L, l.fleet.Dist); err != nil {
+		l.t.Fatal(err)
+	}
+	return core.Result{Served: true, Worker: wa.ID, Delta: ia.Delta}
+}
+
+// TestLockstepPlanEquivalence checks plan-level identity on shared,
+// evolving fleet state across a spread of pool sizes.
+func TestLockstepPlanEquivalence(t *testing.T) {
+	pools := []int{2, 3, 5, 8, 13, 16}
+	if testing.Short() {
+		pools = []int{2, 8}
+	}
+	for _, pool := range pools {
+		pool := pool
+		t.Run(fmt.Sprintf("pool%d", pool), func(t *testing.T) {
+			t.Parallel()
+			s := makeScenario(1000 + pool)
+			s.pool = pool
+			s.prune = true
+			fleet, reqs, g := s.build(t, true)
+			ls := &lockstep{
+				t:        t,
+				fleet:    fleet,
+				serial:   s.serialPlanner(fleet),
+				parallel: s.parallelPlanner(fleet),
+			}
+			eng := sim.NewEngine(fleet, ls, shortest.NewBiDijkstra(g), s.alpha)
+			if _, err := eng.Run(reqs); err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.FastForward(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPoolSizeInvariance fixes one scenario and sweeps every pool size
+// 1–16: all runs must produce the identical served set and assignments.
+func TestPoolSizeInvariance(t *testing.T) {
+	s := makeScenario(4242)
+	s.prune = true
+
+	var ref map[core.RequestID]core.Result
+	for pool := 1; pool <= 16; pool++ {
+		s.pool = pool
+		fleet, reqs, g := s.build(t, true)
+		rec := record(s.parallelPlanner(fleet))
+		eng := sim.NewEngine(fleet, rec, shortest.NewBiDijkstra(g), s.alpha)
+		if _, err := eng.Run(reqs); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = rec.results
+			continue
+		}
+		if len(rec.results) != len(ref) {
+			t.Fatalf("pool %d: %d results, want %d", pool, len(rec.results), len(ref))
+		}
+		for id, want := range ref {
+			if got := rec.results[id]; got != want {
+				t.Fatalf("pool %d request %d: %+v, want %+v", pool, id, got, want)
+			}
+		}
+	}
+}

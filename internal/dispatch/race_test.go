@@ -1,0 +1,133 @@
+package dispatch_test
+
+// Race-detector coverage (run with `go test -race -short ./...`): the
+// dispatcher under a real simulated load, concurrent Fleet.Candidates
+// retrieval against grid updates, and concurrent Plan calls. The
+// concurrent shortest-path cache has its own race suite in
+// internal/shortest.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shortest"
+	"repro/internal/sim"
+)
+
+// TestDispatcherUnderSimulatedLoad drives a full simulation with the
+// parallel planner at pool 8; under -race this exercises the shared
+// bound, the shared cursor, the sharded cache and the grid's read path.
+func TestDispatcherUnderSimulatedLoad(t *testing.T) {
+	s := makeScenario(77)
+	s.pool = 8
+	s.prune = true
+	fleet, reqs, g := s.build(t, true)
+	eng := sim.NewEngine(fleet, s.parallelPlanner(fleet), shortest.NewBiDijkstra(g), s.alpha)
+	if _, err := eng.Run(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FastForward(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentCandidates hammers Fleet.Candidates from many goroutines
+// while another goroutine keeps moving workers through the grid index —
+// the exact interleaving a future pipelined dispatcher would produce.
+func TestConcurrentCandidates(t *testing.T) {
+	s := makeScenario(78)
+	fleet, reqs, _ := s.build(t, true)
+	if len(reqs) == 0 {
+		t.Fatal("scenario has no requests")
+	}
+
+	stop := make(chan struct{})
+	var writer, readers sync.WaitGroup
+	writer.Add(1)
+	go func() { // writer: churn worker positions
+		defer writer.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w := fleet.Workers[i%len(fleet.Workers)]
+			w.Route.Loc = reqs[i%len(reqs)].Origin
+			fleet.UpdateWorkerPosition(w)
+			i++
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		readers.Add(1)
+		go func(seed int) { // readers: candidate retrieval under load
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				r := reqs[(seed*31+i)%len(reqs)]
+				L := fleet.Dist(r.Origin, r.Dest)
+				cands := fleet.Candidates(r, 0, L)
+				for _, w := range cands {
+					if w == nil {
+						t.Error("nil candidate")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() { // readers: whole-grid scans
+			defer readers.Done()
+			for i := 0; i < 100; i++ {
+				fleet.Grid.Len()
+				fleet.Grid.MemoryBytes()
+			}
+		}()
+	}
+	// Readers run against the live writer; only stop it once they finish.
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+}
+
+// TestConcurrentPlanCalls runs many read-only Plan calls on one frozen
+// fleet state concurrently — planning never mutates routes, so this must
+// be race-free by construction.
+func TestConcurrentPlanCalls(t *testing.T) {
+	s := makeScenario(79)
+	s.pool = 4
+	fleet, reqs, _ := s.build(t, true)
+	planner := s.parallelPlanner(fleet)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r := reqs[(seed*17+i)%len(reqs)]
+				planner.Plan(r.Release, r)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestParallelDeltaNonNegative guards the Lemma 8 invariant the shared
+// bound relies on: no feasible parallel plan may report a negative Δ*.
+func TestParallelDeltaNonNegative(t *testing.T) {
+	s := makeScenario(80)
+	s.pool = 8
+	fleet, reqs, _ := s.build(t, true)
+	planner := s.parallelPlanner(fleet)
+	for _, r := range reqs {
+		if w, ins, _ := planner.Plan(r.Release, r); w != nil && ins.Delta < 0 {
+			t.Fatalf("request %d: negative delta %v", r.ID, ins.Delta)
+		}
+	}
+}
+
+var _ core.Planner = (*recorder)(nil)

@@ -1,0 +1,139 @@
+package expt
+
+// Golden-file tests for the figure/table formatters: fixed inputs rendered
+// and compared byte-for-byte against testdata/*.golden. Regenerate with
+//
+//	go test ./internal/expt -run Golden -update
+//
+// and review the diff like any other code change.
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenSeries is a fixed two-point, two-algorithm Fig. 5 series touching
+// every panel (including the grid-memory extra panel) and both the
+// integer and fractional float formats.
+func goldenSeries() Series {
+	return Series{
+		Figure: "fig5", Dataset: "Chengdu", ParamName: "g(km)",
+		Points: []Point{
+			{Param: 1, Metrics: map[string]sim.Metrics{
+				"pruneGreedyDP": {UnifiedCost: 15000, ServedRate: 0.825, AvgResponseMs: 0.125,
+					DistQueries: 1200, GridMemoryBytes: 4096, TotalDistance: 9000},
+				"tshare": {UnifiedCost: 21000, ServedRate: 0.675, AvgResponseMs: 1.5,
+					DistQueries: 9800, GridMemoryBytes: 1 << 20, TotalDistance: 11000},
+			}},
+			{Param: 2, Metrics: map[string]sim.Metrics{
+				"pruneGreedyDP": {UnifiedCost: 14750.5, ServedRate: 0.85, AvgResponseMs: 0.1,
+					DistQueries: 1100, GridMemoryBytes: 2048, TotalDistance: 8750},
+				"tshare": {UnifiedCost: 20500, ServedRate: 0.7, AvgResponseMs: 1.25,
+					DistQueries: 9000, GridMemoryBytes: 1 << 19, TotalDistance: 10500},
+			}},
+		},
+	}
+}
+
+func TestGoldenFormatSeries(t *testing.T) {
+	checkGolden(t, "fig5_series.golden", FormatSeries(goldenSeries()))
+}
+
+func TestGoldenFormatSeriesCSV(t *testing.T) {
+	checkGolden(t, "fig5_series_csv.golden", FormatSeriesCSV(goldenSeries()))
+}
+
+func TestGoldenFormatTable4(t *testing.T) {
+	rows := []DatasetStats{
+		{Name: "Chengdu", Requests: 259423, Vertices: 214440, Edges: 466330},
+		{Name: "NYC", Requests: 411955, Vertices: 807211, Edges: 1583240},
+	}
+	checkGolden(t, "table4.golden", FormatTable4(rows))
+}
+
+func TestGoldenFormatHardness(t *testing.T) {
+	pts := []HardnessPoint{
+		{Variant: workload.AdvServedCount, NVertices: 4, Trials: 200, OnlineServed: 55, RatioLB: 3.571},
+		{Variant: workload.AdvServedCount, NVertices: 32, Trials: 200, OnlineServed: 6, RatioLB: 28.571},
+		{Variant: workload.AdvServedCount, NVertices: 128, Trials: 200, OnlineServed: 0, RatioLB: math.Inf(1)},
+	}
+	checkGolden(t, "hardness.golden", FormatHardness(pts))
+}
+
+func TestGoldenFormatInsertionScaling(t *testing.T) {
+	pts := []InsertionScalingPoint{
+		{N: 8, BasicNs: 4250, NaiveNs: 980, LinearNs: 310},
+		{N: 64, BasicNs: 1.85e6, NaiveNs: 52000, LinearNs: 2400},
+		{N: 256, BasicNs: 1.1e8, NaiveNs: 830000, LinearNs: 9600},
+	}
+	checkGolden(t, "insertion_scaling.golden", FormatInsertionScaling(pts))
+}
+
+func TestGoldenFormatParallelSweep(t *testing.T) {
+	pts := []ParallelPoint{
+		{Pool: 1, Served: 287, UnifiedCost: 68451.426, TotalComputeMs: 8.1,
+			AvgResponseMs: 0.027, P95ResponseMs: 0.055, ThroughputRPS: 37037.037, Speedup: 1},
+		{Pool: 8, Served: 287, UnifiedCost: 68451.426, TotalComputeMs: 2.5,
+			AvgResponseMs: 0.008, P95ResponseMs: 0.02, ThroughputRPS: 120000, Speedup: 3.24},
+	}
+	checkGolden(t, "parallel_sweep.golden", FormatParallelSweep("Chengdu", pts))
+}
+
+// TestParallelSweepTiny runs the real sweep on a tiny runner: the rows
+// must agree on served count and unified cost (the determinism guarantee
+// ParallelSweep itself enforces) and carry sane throughput numbers.
+func TestParallelSweepTiny(t *testing.T) {
+	p := workload.ChengduLike(0.01)
+	p.NumRequests = 120
+	r, err := NewRunner(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := r.ParallelSweep([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Served != pts[0].Served || pt.UnifiedCost != pts[0].UnifiedCost {
+			t.Fatalf("pool %d diverged: %+v vs %+v", pt.Pool, pt, pts[0])
+		}
+		if pt.TotalComputeMs <= 0 || pt.ThroughputRPS <= 0 || pt.Speedup <= 0 {
+			t.Fatalf("pool %d: non-positive timing fields: %+v", pt.Pool, pt)
+		}
+	}
+	if r.Parallel != 0 {
+		t.Fatalf("ParallelSweep leaked Parallel=%d", r.Parallel)
+	}
+}

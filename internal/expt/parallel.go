@@ -1,0 +1,82 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParallelPoint is one pool size of the planning-throughput sweep: the
+// same workload planned by pruneGreedyDP serially (Pool == 1) and by the
+// parallel dispatcher at growing pool sizes. Decisions are bit-identical
+// across rows (the determinism guarantee); only compute time moves.
+type ParallelPoint struct {
+	Pool           int
+	Served         int
+	UnifiedCost    float64
+	TotalComputeMs float64
+	AvgResponseMs  float64
+	P95ResponseMs  float64
+	// ThroughputRPS is planned requests per second of planner compute.
+	ThroughputRPS float64
+	// Speedup is serial TotalComputeMs over this row's TotalComputeMs.
+	Speedup float64
+}
+
+// ParallelSweep measures planning throughput of pruneGreedyDP across
+// dispatcher pool sizes on the runner's base workload. Pool size 1 is the
+// serial planner and the speedup reference.
+func (r *Runner) ParallelSweep(pools []int) ([]ParallelPoint, error) {
+	save := r.Parallel
+	defer func() { r.Parallel = save }()
+
+	r.Parallel = 0
+	serial, err := r.RunOne(r.Base, "pruneGreedyDP")
+	if err != nil {
+		return nil, err
+	}
+	toPoint := func(pool int, served int, uc, totalMs, avgMs, p95Ms float64) ParallelPoint {
+		pt := ParallelPoint{
+			Pool: pool, Served: served, UnifiedCost: uc,
+			TotalComputeMs: totalMs, AvgResponseMs: avgMs, P95ResponseMs: p95Ms,
+		}
+		if totalMs > 0 {
+			pt.ThroughputRPS = float64(serial.Requests) / (totalMs / 1000)
+			pt.Speedup = serial.TotalComputeMs / totalMs
+		}
+		return pt
+	}
+	out := []ParallelPoint{toPoint(1, serial.Served, serial.UnifiedCost,
+		serial.TotalComputeMs, serial.AvgResponseMs, serial.P95ResponseMs)}
+	for _, pool := range pools {
+		if pool <= 1 {
+			continue
+		}
+		r.Parallel = pool
+		m, err := r.RunOne(r.Base, "pruneGreedyDP")
+		if err != nil {
+			return nil, err
+		}
+		if m.Served != serial.Served || m.UnifiedCost != serial.UnifiedCost {
+			return nil, fmt.Errorf("expt: determinism violation at pool %d: served %d/%d, unified cost %v/%v",
+				pool, m.Served, serial.Served, m.UnifiedCost, serial.UnifiedCost)
+		}
+		out = append(out, toPoint(pool, m.Served, m.UnifiedCost,
+			m.TotalComputeMs, m.AvgResponseMs, m.P95ResponseMs))
+	}
+	return out, nil
+}
+
+// FormatParallelSweep renders the planning-throughput table.
+func FormatParallelSweep(dataset string, points []ParallelPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel dispatch / %s — planning throughput (identical decisions per row)\n", dataset)
+	fmt.Fprintf(&b, "%-6s%10s%14s%14s%12s%12s%14s%10s\n",
+		"pool", "served", "unified cost", "compute (ms)", "avg (ms)", "p95 (ms)", "req/s", "speedup")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-6d%10d%14s%14s%12s%12s%14s%9sx\n",
+			p.Pool, p.Served, trimFloat(p.UnifiedCost), trimFloat(p.TotalComputeMs),
+			trimFloat(p.AvgResponseMs), trimFloat(p.P95ResponseMs),
+			trimFloat(p.ThroughputRPS), trimFloat(p.Speedup))
+	}
+	return b.String()
+}

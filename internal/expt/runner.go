@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/sim"
@@ -45,6 +46,16 @@ type Runner struct {
 	// (contraction hierarchies) or "bidijkstra" (no preprocessing) —
 	// the oracle ablation.
 	OracleKind string
+	// Parallel > 1 plans pruneGreedyDP/GreedyDP with the parallel
+	// dispatcher (internal/dispatch) using that many goroutines, over a
+	// concurrency-safe oracle chain (sharded LRU, atomic query counter,
+	// locked oracle where the base oracle is stateful). Decisions,
+	// assignments and unified cost are bit-identical to the serial
+	// planners; response times differ, and so may DistQueries — it
+	// counts cache misses, and the sharded cache's eviction pattern is
+	// not the serial LRU's. Other algorithms are unaffected: they keep
+	// the serial planner and the serial query chain.
+	Parallel int
 
 	ch *shortest.CH // built lazily for OracleKind == "ch"
 }
@@ -107,13 +118,32 @@ func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) 
 	if err != nil {
 		return sim.Metrics{}, err
 	}
-	counter := shortest.NewCounting(base)
-	cached := shortest.NewCached(counter, 1<<18)
-	inst, err := workload.BuildOn(p, r.G, cached.Dist)
+	// The serial planners keep the paper's single-threaded query chain;
+	// parallel dispatch swaps in the concurrency-safe equivalents. The
+	// swap is scoped to the algorithms that actually dispatch in
+	// parallel so that -parallel cannot perturb any baseline's metrics.
+	useParallel := r.Parallel > 1 && (algo == "pruneGreedyDP" || algo == "GreedyDP")
+	var (
+		dist    core.DistFunc
+		queries shortest.QueryCounter
+	)
+	if useParallel {
+		if r.OracleKind == "ch" || r.OracleKind == "bidijkstra" {
+			base = shortest.NewLocked(base) // stateful oracles need the mutex
+		}
+		ac := shortest.NewAtomicCounting(base)
+		dist = shortest.NewShardedCached(ac, 1<<18, 64).Dist
+		queries = ac
+	} else {
+		c := shortest.NewCounting(base)
+		dist = shortest.NewCached(c, 1<<18).Dist
+		queries = c
+	}
+	inst, err := workload.BuildOn(p, r.G, dist)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
-	fleet, err := core.NewFleet(r.G, cached.Dist, inst.Workers, r.CellMeters)
+	fleet, err := core.NewFleet(r.G, dist, inst.Workers, r.CellMeters)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
@@ -121,9 +151,17 @@ func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) 
 	gridMem := fleet.Grid.MemoryBytes()
 	switch algo {
 	case "pruneGreedyDP":
-		planner = core.NewPruneGreedyDP(fleet, 1)
+		if useParallel {
+			planner = dispatch.NewParallelPruneGreedyDP(fleet, 1, r.Parallel)
+		} else {
+			planner = core.NewPruneGreedyDP(fleet, 1)
+		}
 	case "GreedyDP":
-		planner = core.NewGreedyDP(fleet, 1)
+		if useParallel {
+			planner = dispatch.NewParallelGreedyDP(fleet, 1, r.Parallel)
+		} else {
+			planner = core.NewGreedyDP(fleet, 1)
+		}
 	case "pruneGreedyBasic":
 		// Ablation: the full two-phase solution but with the O(n³) basic
 		// insertion as the planning operator.
@@ -167,7 +205,7 @@ func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) 
 		return sim.Metrics{}, fmt.Errorf("expt: unknown algorithm %q", algo)
 	}
 	eng := sim.NewEngine(fleet, planner, shortest.NewBiDijkstra(r.G), 1)
-	eng.Queries = counter
+	eng.Queries = queries
 	m, err := eng.Run(inst.Requests)
 	if err != nil {
 		return sim.Metrics{}, err

@@ -1,0 +1,152 @@
+package shortest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/roadnet"
+)
+
+// This file holds the concurrency-safe counterparts of the single-threaded
+// query machinery (Counting, Cached): the parallel dispatcher fans exact
+// insertions out across goroutines, and every one of them issues distance
+// queries through the same oracle chain. The wrappers here keep that chain
+// safe without slowing the serial planners down (they keep using the plain
+// Counting/Cached types).
+
+// QueryCounter is the read side of a query counter; both Counting and
+// AtomicCounting implement it, so the simulator can report query totals
+// regardless of which planner (serial or parallel) ran.
+type QueryCounter interface {
+	Count() uint64
+}
+
+// AtomicCounting wraps an Oracle and counts queries with an atomic
+// counter; safe for concurrent use provided the inner oracle is.
+type AtomicCounting struct {
+	Inner   Oracle
+	queries atomic.Uint64
+}
+
+// NewAtomicCounting wraps inner with a concurrent query counter.
+func NewAtomicCounting(inner Oracle) *AtomicCounting {
+	return &AtomicCounting{Inner: inner}
+}
+
+// Dist implements Oracle, incrementing the query counter.
+func (c *AtomicCounting) Dist(s, t roadnet.VertexID) float64 {
+	c.queries.Add(1)
+	return c.Inner.Dist(s, t)
+}
+
+// Count implements QueryCounter.
+func (c *AtomicCounting) Count() uint64 { return c.queries.Load() }
+
+// Reset zeroes the counter.
+func (c *AtomicCounting) Reset() { c.queries.Store(0) }
+
+// Locked serializes access to a non-thread-safe Oracle (BiDijkstra and CH
+// reuse per-instance search state across queries). It is the correctness
+// fallback for oracle kinds without a concurrent implementation; hub
+// labels and distance matrices are read-only and do not need it.
+type Locked struct {
+	mu    sync.Mutex
+	inner Oracle
+}
+
+// NewLocked wraps inner with a mutex.
+func NewLocked(inner Oracle) *Locked { return &Locked{inner: inner} }
+
+// Dist implements Oracle under the lock.
+func (l *Locked) Dist(s, t roadnet.VertexID) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Dist(s, t)
+}
+
+// ShardedCached is the concurrent counterpart of Cached: the key space is
+// hashed across independently locked LRU shards, so concurrent readers on
+// different shards never contend and readers of the same (u,v) pair
+// serialize only briefly. The inner oracle must itself be safe for
+// concurrent use (wrap it in Locked otherwise).
+type ShardedCached struct {
+	inner  Oracle
+	shards []cacheShard
+	mask   uint64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cache *LRU
+	_     [48]byte // mutex (8) + pointer (8) + 48 = one 64-byte cache line
+}
+
+// NewShardedCached wraps inner with a sharded LRU of totalCapacity entries
+// split across shards (rounded up to a power of two, minimum 1).
+func NewShardedCached(inner Oracle, totalCapacity, shards int) *ShardedCached {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := totalCapacity / n
+	if per < 1 {
+		per = 1
+	}
+	c := &ShardedCached{inner: inner, shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].cache = NewLRU(per)
+	}
+	return c
+}
+
+// shardOf picks the shard for a symmetric (u,v) key with a Fibonacci hash
+// so that consecutive vertex IDs spread across shards.
+func (c *ShardedCached) shardOf(key uint64) *cacheShard {
+	return &c.shards[(key*0x9E3779B97F4A7C15)>>32&c.mask]
+}
+
+// Dist implements Oracle; it is safe for any number of concurrent callers.
+func (c *ShardedCached) Dist(u, v roadnet.VertexID) float64 {
+	if u == v {
+		return 0
+	}
+	key := pairKey(u, v)
+	s := c.shardOf(key)
+	s.mu.Lock()
+	if d, ok := s.cache.Get(u, v); ok {
+		s.mu.Unlock()
+		return d
+	}
+	s.mu.Unlock()
+	// Compute outside the shard lock: misses on one shard must not block
+	// hits on it, and the inner oracle manages its own safety.
+	d := c.inner.Dist(u, v)
+	s.mu.Lock()
+	s.cache.Put(u, v, d)
+	s.mu.Unlock()
+	return d
+}
+
+// Stats returns the aggregate (hits, misses) over all shards.
+func (c *ShardedCached) Stats() (hits, misses uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.cache.Hits
+		misses += s.cache.Misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// Len returns the total number of cached entries across shards.
+func (c *ShardedCached) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.cache.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

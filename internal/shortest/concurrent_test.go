@@ -1,0 +1,153 @@
+package shortest
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// approxEq absorbs the last-ULP differences between oracles: the cache
+// key is symmetric ((u,v) ≡ (v,u)) while Dijkstra accumulates each
+// direction separately, so exact equality is too strict.
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}
+
+func concurrencyGraph(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 12, Cols: 12, Spacing: 140, Jitter: 0.2,
+		ArterialEvery: 4, DetourMin: 1.05, DetourMax: 1.3, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestShardedCachedMatchesInner verifies the sharded cache is a pure
+// memoization layer: every answer equals the inner oracle's.
+func TestShardedCachedMatchesInner(t *testing.T) {
+	g := concurrencyGraph(t)
+	m := NewMatrix(g)
+	c := NewShardedCached(m, 1<<10, 8)
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		u := roadnet.VertexID(rng.Intn(n))
+		v := roadnet.VertexID(rng.Intn(n))
+		if got, want := c.Dist(u, v), m.Dist(u, v); !approxEq(got, want) {
+			t.Fatalf("dist(%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", hits, misses)
+	}
+	if c.Len() == 0 {
+		t.Fatal("cache stored nothing")
+	}
+}
+
+// TestShardedCachedConcurrent hammers one cache from many goroutines over
+// a small key space (maximizing shard contention and eviction) and checks
+// every returned value; run under -race this is the cache's safety proof.
+func TestShardedCachedConcurrent(t *testing.T) {
+	g := concurrencyGraph(t)
+	m := NewMatrix(g)
+	// Tiny capacity forces constant eviction churn.
+	c := NewShardedCached(m, 64, 4)
+	n := g.NumVertices()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				u := roadnet.VertexID(rng.Intn(n / 4)) // small key space
+				v := roadnet.VertexID(rng.Intn(n / 4))
+				if got, want := c.Dist(u, v), m.Dist(u, v); !approxEq(got, want) {
+					t.Errorf("dist(%d,%d) = %v, want %v", u, v, got, want)
+					return
+				}
+			}
+		}(int64(w) * 7919)
+	}
+	wg.Wait()
+}
+
+// TestAtomicCountingConcurrent checks the atomic counter under concurrent
+// queries: the total must be exact, not approximate.
+func TestAtomicCountingConcurrent(t *testing.T) {
+	g := concurrencyGraph(t)
+	m := NewMatrix(g)
+	c := NewAtomicCounting(m)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := g.NumVertices()
+			for i := 0; i < per; i++ {
+				c.Dist(roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := c.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	c.Reset()
+	if got := c.Count(); got != 0 {
+		t.Fatalf("count after reset = %d", got)
+	}
+}
+
+// TestLockedBiDijkstra verifies the mutex wrapper makes the stateful
+// bidirectional Dijkstra safe (and still exact) under concurrent callers.
+func TestLockedBiDijkstra(t *testing.T) {
+	g := concurrencyGraph(t)
+	m := NewMatrix(g)
+	l := NewLocked(NewBiDijkstra(g))
+	n := g.NumVertices()
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				u := roadnet.VertexID(rng.Intn(n))
+				v := roadnet.VertexID(rng.Intn(n))
+				if got, want := l.Dist(u, v), m.Dist(u, v); !approxEq(got, want) {
+					t.Errorf("dist(%d,%d) = %v, want %v", u, v, got, want)
+					return
+				}
+			}
+		}(int64(w) * 13)
+	}
+	wg.Wait()
+}
+
+// TestShardedCachedShardRounding covers the shard-count normalization:
+// non-power-of-two and degenerate inputs must still produce a working
+// cache.
+func TestShardedCachedShardRounding(t *testing.T) {
+	g := concurrencyGraph(t)
+	m := NewMatrix(g)
+	for _, shards := range []int{0, 1, 3, 7, 64} {
+		c := NewShardedCached(m, 8, shards)
+		for v := 1; v < 5; v++ {
+			u, w := roadnet.VertexID(0), roadnet.VertexID(v)
+			if got, want := c.Dist(u, w), m.Dist(u, w); !approxEq(got, want) {
+				t.Fatalf("shards=%d: dist = %v, want %v", shards, got, want)
+			}
+		}
+	}
+}

@@ -48,6 +48,9 @@ func (c *Counting) Dist(s, t roadnet.VertexID) float64 {
 // Reset zeroes the counter.
 func (c *Counting) Reset() { c.Queries = 0 }
 
+// Count implements QueryCounter.
+func (c *Counting) Count() uint64 { return c.Queries }
+
 // Matrix is a precomputed all-pairs oracle. It is O(V²) memory and is only
 // intended for small graphs (tests, the hardness constructions, and the
 // insertion microbenchmarks where O(1) queries isolate operator cost).

@@ -38,8 +38,10 @@ type Engine struct {
 	// Paths finds leg paths once per leg; distance queries go through the
 	// fleet's oracle instead.
 	Paths shortest.PathOracle
-	// Queries, when set, is read to report distance-query counts.
-	Queries *shortest.Counting
+	// Queries, when set, is read to report distance-query counts; both
+	// shortest.Counting (serial planners) and shortest.AtomicCounting
+	// (the parallel dispatcher) satisfy it.
+	Queries shortest.QueryCounter
 	// Alpha is the unified-cost weight α.
 	Alpha float64
 
@@ -303,7 +305,7 @@ func (e *Engine) metrics(total int) Metrics {
 		m.SharedFraction = e.sharedSeconds / e.driveSeconds
 	}
 	if e.Queries != nil {
-		m.DistQueries = e.Queries.Queries
+		m.DistQueries = e.Queries.Count()
 	}
 	return m
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/geo"
 )
@@ -17,8 +18,17 @@ import (
 // ItemID identifies an indexed item (a worker in this repository).
 type ItemID = int32
 
-// Grid is a uniform cell index over moving point items.
+// Grid is a uniform cell index over moving point items. Reads (Within,
+// All, Position, ItemsInCell, Len) and writes (Insert, Remove) are guarded
+// by an internal RWMutex, so any number of concurrent readers can overlap
+// safely while writers serialize. Today's dispatcher retrieves candidates
+// on the caller's goroutine before fanning out, so the simulator itself
+// never reads the grid concurrently — the lock is what makes concurrent
+// harnesses (the race suite's Candidates-under-load test) and a future
+// pipelined dispatcher safe. Callbacks run under the read lock and must
+// not call Insert or Remove.
 type Grid struct {
+	mu     sync.RWMutex
 	min    geo.Point
 	cell   float64
 	cols   int
@@ -53,7 +63,11 @@ func (g *Grid) CellSize() float64 { return g.cell }
 func (g *Grid) NumCells() int { return g.cols * g.rows }
 
 // Len returns the number of indexed items.
-func (g *Grid) Len() int { return g.nItems }
+func (g *Grid) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nItems
+}
 
 func (g *Grid) cellOf(p geo.Point) int {
 	cx := int((p.X - g.min.X) / g.cell)
@@ -80,6 +94,8 @@ func (g *Grid) CellIndex(p geo.Point) int { return g.cellOf(p) }
 // ItemsInCell calls fn for every item stored in the given cell; iteration
 // stops early if fn returns false.
 func (g *Grid) ItemsInCell(cell int, fn func(id ItemID, pos geo.Point) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if cell < 0 || cell >= len(g.items) {
 		return
 	}
@@ -102,6 +118,8 @@ func (g *Grid) CellCenter(cell int) geo.Point {
 
 // Insert adds or moves item id to position p.
 func (g *Grid) Insert(id ItemID, p geo.Point) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	c := g.cellOf(p)
 	if old, ok := g.where[id]; ok {
 		if old == c {
@@ -121,6 +139,8 @@ func (g *Grid) Insert(id ItemID, p geo.Point) {
 
 // Remove deletes item id; it is a no-op if absent.
 func (g *Grid) Remove(id ItemID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if c, ok := g.where[id]; ok {
 		delete(g.items[c], id)
 		delete(g.where, id)
@@ -130,6 +150,8 @@ func (g *Grid) Remove(id ItemID) {
 
 // Position returns the stored position of item id.
 func (g *Grid) Position(id ItemID) (geo.Point, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	c, ok := g.where[id]
 	if !ok {
 		return geo.Point{}, false
@@ -144,6 +166,8 @@ func (g *Grid) Within(p geo.Point, radiusMeters float64, fn func(id ItemID, pos 
 	if radiusMeters < 0 {
 		return
 	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	loX := int((p.X - radiusMeters - g.min.X) / g.cell)
 	hiX := int((p.X + radiusMeters - g.min.X) / g.cell)
 	loY := int((p.Y - radiusMeters - g.min.Y) / g.cell)
@@ -177,6 +201,8 @@ func (g *Grid) Within(p geo.Point, radiusMeters float64, fn func(id ItemID, pos 
 
 // All calls fn for every indexed item. Iteration stops if fn returns false.
 func (g *Grid) All(fn func(id ItemID, pos geo.Point) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	for id, c := range g.where {
 		if !fn(id, g.items[c][id]) {
 			return
@@ -188,6 +214,8 @@ func (g *Grid) All(fn func(id ItemID, pos geo.Point) bool) {
 // plus per-item bookkeeping. This is the "memory cost of grid index"
 // metric of the grid-size experiment.
 func (g *Grid) MemoryBytes() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	// Cell slice headers + map headers, ~48 bytes per non-nil cell map, and
 	// ~40 bytes per stored item (key+value+overhead in two maps).
 	total := int64(len(g.items)) * 8

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+)
+
+func TestAdversaryRejectsBadSizes(t *testing.T) {
+	for _, nv := range []int{0, 2, 3, 5, 7, -4} {
+		if _, err := NewAdversarialInstance(AdvServedCount, nv, 1); err == nil {
+			t.Errorf("|V|=%d: expected error, got none", nv)
+		}
+	}
+	if _, err := NewAdversarialInstance(AdvServedCount, 4, 1); err != nil {
+		t.Fatalf("|V|=4 should be valid: %v", err)
+	}
+}
+
+func TestAdversaryVariantNames(t *testing.T) {
+	cases := map[AdversaryVariant]string{
+		AdvServedCount:      "served-count",
+		AdvRevenue:          "revenue",
+		AdvDistance:         "distance",
+		AdversaryVariant(9): "unknown",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("variant %d: %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestAdversaryDeterministicBySeed(t *testing.T) {
+	a, err := NewAdversarialInstance(AdvRevenue, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAdversarialInstance(AdvRevenue, 16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a.Request != *b.Request {
+		t.Fatalf("same seed produced different requests: %+v vs %+v", a.Request, b.Request)
+	}
+	c, err := NewAdversarialInstance(AdvRevenue, 16, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The origin is the only random draw; over one draw a collision is
+	// possible, so only check the structure still validates.
+	if err := c.Request.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdversaryConstructionInvariants checks each variant against the
+// structure of its proof (Lemmas 1–3): worker placement, request shape,
+// penalties and deadlines.
+func TestAdversaryConstructionInvariants(t *testing.T) {
+	const nv = 12
+	for _, v := range []AdversaryVariant{AdvServedCount, AdvRevenue, AdvDistance} {
+		inst, err := NewAdversarialInstance(v, nv, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, w := inst.Request, inst.Worker
+		if err := r.Validate(); err != nil {
+			t.Fatalf("%v: invalid request: %v", v, err)
+		}
+		if w.ID != 0 || w.Capacity != 2 || w.Route.Loc != 0 {
+			t.Fatalf("%v: worker %+v, want id 0, capacity 2 at vertex 0", v, w)
+		}
+		if got := inst.Graph.NumVertices(); got != nv {
+			t.Fatalf("%v: cycle has %d vertices, want %d", v, got, nv)
+		}
+		if r.Release != float64(nv) {
+			t.Fatalf("%v: release %v, want %v", v, r.Release, float64(nv))
+		}
+		if int(r.Origin) < 0 || int(r.Origin) >= nv {
+			t.Fatalf("%v: origin %d outside the cycle", v, r.Origin)
+		}
+		if inst.Epsilon <= 0 || inst.Epsilon >= 1 {
+			t.Fatalf("%v: epsilon %v must be within one unit edge", v, inst.Epsilon)
+		}
+		switch v {
+		case AdvServedCount:
+			if r.Dest != r.Origin || r.Penalty != 1 {
+				t.Fatalf("Lemma 1 shape violated: %+v", r)
+			}
+			if r.Deadline != r.Release+inst.Epsilon {
+				t.Fatalf("Lemma 1 deadline: %v", r.Deadline)
+			}
+			if inst.OptCost != 0 {
+				t.Fatalf("Lemma 1 offline optimum must be free, got %v", inst.OptCost)
+			}
+		case AdvRevenue:
+			want := roadnet.VertexID((int(r.Origin) + nv/2) % nv)
+			if r.Dest != want {
+				t.Fatalf("Lemma 2: dest %d, want antipode %d", r.Dest, want)
+			}
+			if r.Penalty != 3*float64(nv/2) {
+				t.Fatalf("Lemma 2: penalty %v, want c_r·|V|/2 = %v", r.Penalty, 3*float64(nv/2))
+			}
+			if inst.OptCost != float64(nv) {
+				t.Fatalf("Lemma 2: offline optimum %v, want %v", inst.OptCost, float64(nv))
+			}
+		case AdvDistance:
+			if r.Dest != r.Origin || r.Penalty < 1e17 {
+				t.Fatalf("Lemma 3 shape violated: %+v", r)
+			}
+		}
+	}
+}
+
+// TestAdversaryOnlineFailsOffPosition plays the construction's punchline:
+// the online planner serves the request iff the random origin happens to
+// be the worker's vertex; an offline algorithm that pre-moves the worker
+// always serves it.
+func TestAdversaryOnlineFailsOffPosition(t *testing.T) {
+	const nv = 8
+	for seed := int64(0); seed < 24; seed++ {
+		inst, err := NewAdversarialInstance(AdvServedCount, nv, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := shortest.NewMatrix(inst.Graph)
+
+		online := serveOne(t, inst.Graph, m, inst.Worker.Route.Loc, inst.Request)
+		if want := inst.Request.Origin == inst.Worker.Route.Loc; online != want {
+			t.Fatalf("seed %d: online served=%v with origin %d, worker at %d",
+				seed, online, inst.Request.Origin, inst.Worker.Route.Loc)
+		}
+		// Offline: the omniscient solution has the worker already at o_r.
+		if !serveOne(t, inst.Graph, m, inst.Request.Origin, inst.Request) {
+			t.Fatalf("seed %d: offline optimum failed to serve", seed)
+		}
+	}
+}
+
+// serveOne asks pruneGreedyDP (α = 0, the served-count objective) to plan
+// the adversarial request with the single worker at loc.
+func serveOne(t *testing.T, g *roadnet.Graph, m *shortest.Matrix, loc roadnet.VertexID, req *core.Request) bool {
+	t.Helper()
+	w := &core.Worker{ID: 0, Capacity: 2, Route: core.Route{Loc: loc, Now: req.Release}}
+	fleet, err := core.NewFleet(g, m.Dist, []*core.Worker{w}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.NewPruneGreedyDP(fleet, 0).OnRequest(req.Release, req)
+	return res.Served
+}
+
+func TestAdversaryRevenueDeadlineReachable(t *testing.T) {
+	// Lemma 2's deadline must leave exactly enough time for the offline
+	// optimum: |V|/2 from o_r to the antipodal d_r plus the slack ε.
+	inst, err := NewAdversarialInstance(AdvRevenue, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := shortest.NewMatrix(inst.Graph)
+	L := m.Dist(inst.Request.Origin, inst.Request.Dest)
+	if L != 5 {
+		t.Fatalf("cycle antipode distance %v, want 5", L)
+	}
+	if got, want := inst.Request.Deadline, inst.Request.Release+L+inst.Epsilon; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("deadline %v, want release+L+eps = %v", got, want)
+	}
+}
