@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench check golden
+.PHONY: all build vet test race bench-smoke bench check golden fuzz
 
 all: check
 
@@ -27,5 +27,13 @@ bench:
 # Regenerate golden files after a deliberate formatter change.
 golden:
 	$(GO) test ./internal/expt -run Golden -update
+
+# Short fuzz pass over the untrusted-input parsers (roadnet text, DIMACS,
+# workload stream, trip CSV). `go test` alone replays only the seed corpus.
+fuzz:
+	$(GO) test -fuzz FuzzRead$$ -fuzztime 10s ./internal/roadnet
+	$(GO) test -fuzz FuzzLoadDIMACS -fuzztime 10s ./internal/roadnet
+	$(GO) test -fuzz FuzzReadStream -fuzztime 10s ./internal/workload
+	$(GO) test -fuzz FuzzReadTripCSV -fuzztime 10s ./internal/workload
 
 check: build vet test race

@@ -8,6 +8,8 @@
 //	netgen -preset nyc -scale 0.05 -o nyc.net      # preset network
 //	netgen -preset chengdu -scale 0.05 -o c.net -workload c.load
 //	                                               # network + request stream
+//	netgen -rows 40 -cols 40 -dimacs city          # DIMACS export
+//	                                               # (city.gr + city.co, see FORMATS.md §3)
 package main
 
 import (
@@ -33,15 +35,16 @@ func main() {
 		out      = flag.String("o", "", "write the network to this file")
 		loadOut  = flag.String("workload", "", "also write a request/worker stream (presets only)")
 		describe = flag.String("describe", "", "read a network file and print statistics")
+		dimacs   = flag.String("dimacs", "", "also export the network as DIMACS <prefix>.gr + <prefix>.co")
 	)
 	flag.Parse()
-	if err := run(*rows, *cols, *spacing, *seed, *preset, *scale, *out, *loadOut, *describe); err != nil {
+	if err := run(*rows, *cols, *spacing, *seed, *preset, *scale, *out, *loadOut, *describe, *dimacs); err != nil {
 		fmt.Fprintln(os.Stderr, "netgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rows, cols int, spacing float64, seed int64, preset string, scale float64, out, loadOut, describe string) error {
+func run(rows, cols int, spacing float64, seed int64, preset string, scale float64, out, loadOut, describe, dimacs string) error {
 	if describe != "" {
 		f, err := os.Open(describe)
 		if err != nil {
@@ -53,7 +56,9 @@ func run(rows, cols int, spacing float64, seed int64, preset string, scale float
 			return err
 		}
 		printStats(g)
-		return nil
+		// -dimacs also works on described files, so existing .net files can
+		// be converted without regeneration.
+		return writeDIMACS(dimacs, g)
 	}
 
 	var cfg roadnet.GenConfig
@@ -90,6 +95,9 @@ func run(rows, cols int, spacing float64, seed int64, preset string, scale float
 		}
 		fmt.Printf("wrote %s\n", out)
 	}
+	if err := writeDIMACS(dimacs, g); err != nil {
+		return err
+	}
 	if loadOut != "" {
 		if !havePreset {
 			return fmt.Errorf("-workload requires -preset chengdu|nyc")
@@ -112,6 +120,29 @@ func run(rows, cols int, spacing float64, seed int64, preset string, scale float
 	return nil
 }
 
+// writeDIMACS exports g as prefix.gr + prefix.co; a no-op for an empty
+// prefix.
+func writeDIMACS(prefix string, g *roadnet.Graph) error {
+	if prefix == "" {
+		return nil
+	}
+	grF, err := os.Create(prefix + ".gr")
+	if err != nil {
+		return err
+	}
+	defer grF.Close()
+	coF, err := os.Create(prefix + ".co")
+	if err != nil {
+		return err
+	}
+	defer coF.Close()
+	if err := roadnet.WriteDIMACS(grF, coF, g); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s.gr and %s.co\n", prefix, prefix)
+	return nil
+}
+
 func printStats(g *roadnet.Graph) {
 	b := g.Bounds()
 	classes := map[geo.RoadClass]int{}
@@ -124,6 +155,14 @@ func printStats(g *roadnet.Graph) {
 		g.NumVertices(), g.NumEdges(), b.Width()/1000, b.Height()/1000, totalKm)
 	for c := geo.RoadClass(0); c < geo.NumRoadClasses; c++ {
 		fmt.Printf("  %-12s %6d edges\n", c, classes[c])
+	}
+	// Preprocessing stats are only affordable for graphs the hub tier
+	// accepts; beyond that report which oracle tier Auto would choose.
+	budget := shortest.DefaultAutoBudget()
+	if kind := budget.Choose(g.NumVertices()); kind != shortest.AutoHub {
+		fmt.Printf("oracle tier (auto): %s — %d vertices exceed the hub-label budget of %d\n",
+			kind, g.NumVertices(), budget.MaxHubVertices)
+		return
 	}
 	hub := shortest.BuildHubLabels(g)
 	fmt.Printf("hub labeling: avg %.1f hubs/vertex, %.1f MB\n",

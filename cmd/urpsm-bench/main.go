@@ -5,11 +5,19 @@
 //
 //	urpsm-bench -exp fig3 -dataset chengdu -scale 0.05 -repeat 3
 //	urpsm-bench -exp all -dataset both -scale 0.02 -csv out/
+//	urpsm-bench -exp parallel -dataset chengdu -parallel 8
 //
 // Experiments: table4, fig3 (vary |W|), fig4 (vary K_w), fig5 (vary grid
 // size g, with index memory), fig6 (vary deadline e_r, with saved distance
 // queries), fig7 (vary penalty p_r), hardness (§3.3 constructions),
-// insertion (§4 operator scaling ablation), all.
+// insertion (§4 operator scaling ablation), ablation (planner and oracle
+// design-choice ablations), parallel (dispatcher throughput sweep over
+// pool sizes), all.
+//
+// -parallel N plans pruneGreedyDP/GreedyDP with the N-goroutine parallel
+// dispatcher in any experiment (decisions stay bit-identical to serial);
+// -oracle picks the distance oracle, where "auto" selects the strongest
+// tier whose preprocessing fits the graph size (see DESIGN.md §8.3).
 package main
 
 import (
@@ -32,9 +40,10 @@ func main() {
 		algos    = flag.String("algos", strings.Join(expt.Algorithms, ","), "comma-separated algorithms")
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 		parallel = flag.Int("parallel", 0, "plan pruneGreedyDP/GreedyDP with a parallel dispatcher pool of this size (0 = serial); also the largest pool of -exp parallel")
+		oracle   = flag.String("oracle", "hub", "distance oracle: hub|ch|bidijkstra|auto (auto picks by graph size)")
 	)
 	flag.Parse()
-	if err := run(*exp, *dataset, *scale, *repeat, splitList(*algos), *csvDir, *parallel); err != nil {
+	if err := run(*exp, *dataset, *scale, *repeat, splitList(*algos), *csvDir, *parallel, *oracle); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-bench:", err)
 		os.Exit(1)
 	}
@@ -50,7 +59,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir string, parallel int) error {
+func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir string, parallel int, oracle string) error {
 	var presets []workload.Params
 	switch strings.ToLower(dataset) {
 	case "chengdu":
@@ -89,14 +98,19 @@ func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir 
 
 	var table4 []expt.DatasetStats
 	for _, preset := range presets {
-		fmt.Printf("== Dataset %s (scale %.3g): generating network and hub labels ==\n", preset.Name, scale)
+		fmt.Printf("== Dataset %s (scale %.3g): generating network and distance oracle ==\n", preset.Name, scale)
 		runner, err := expt.NewRunner(preset, repeat)
 		if err != nil {
 			return err
 		}
 		runner.Parallel = parallel
-		fmt.Printf("   |V|=%d |E|=%d avg hub label=%.1f\n",
-			runner.G.NumVertices(), runner.G.NumEdges(), runner.Hub.AvgLabelSize())
+		runner.OracleKind = oracle
+		desc, err := runner.OracleDescription()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   |V|=%d |E|=%d oracle=%s\n",
+			runner.G.NumVertices(), runner.G.NumEdges(), desc)
 
 		if wantFig("parallel") {
 			pools := []int{2, 4, 8}
@@ -171,7 +185,8 @@ func runAblations(runner *expt.Runner) error {
 	}
 	fmt.Println("\noracle ablation (pruneGreedyDP):")
 	fmt.Printf("%-24s %14s %10s %12s\n", "oracle", "unified cost", "served", "response")
-	defer func() { runner.OracleKind = "" }()
+	save := runner.OracleKind
+	defer func() { runner.OracleKind = save }()
 	for _, kind := range []string{"hub", "ch", "bidijkstra"} {
 		runner.OracleKind = kind
 		m, err := runner.RunOne(runner.Base, "pruneGreedyDP")

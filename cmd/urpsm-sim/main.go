@@ -2,10 +2,17 @@
 // metrics — the quickest way to watch the algorithms against each other on
 // a single configuration.
 //
-// Usage:
+// It runs either a synthetic preset or an imported network + workload pair
+// (files produced by cmd/netgen or cmd/urpsm-import):
 //
 //	urpsm-sim -dataset chengdu -scale 0.05 -algo pruneGreedyDP
 //	urpsm-sim -dataset nyc -scale 0.02 -algo all -deadline 15 -workers 200
+//	urpsm-sim -net city.net -load city.load -oracle auto -algo pruneGreedyDP
+//
+// -oracle picks the distance oracle (hub|ch|bidijkstra|auto); "auto"
+// selects the strongest tier whose preprocessing fits the graph size,
+// which is the right default for imported real road networks (see
+// DESIGN.md §8.3).
 package main
 
 import (
@@ -15,32 +22,111 @@ import (
 	"strings"
 
 	"repro/internal/expt"
+	"repro/internal/roadnet"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "chengdu", "dataset: chengdu|nyc")
-		scale    = flag.Float64("scale", 0.05, "workload scale factor in (0,1]")
+		dataset  = flag.String("dataset", "chengdu", "dataset preset: chengdu|nyc (presets only)")
+		scale    = flag.Float64("scale", 0.05, "workload scale factor in (0,1] (presets only)")
 		algo     = flag.String("algo", "pruneGreedyDP", "algorithm name or 'all'")
-		workers  = flag.Int("workers", 0, "override number of workers (0 = preset)")
-		requests = flag.Int("requests", 0, "override number of requests (0 = preset)")
-		deadline = flag.Float64("deadline", 0, "override deadline in minutes (0 = preset)")
-		penalty  = flag.Float64("penalty", 0, "override penalty factor (0 = preset)")
-		capacity = flag.Float64("capacity", 0, "override mean worker capacity (0 = preset)")
+		workers  = flag.Int("workers", 0, "override number of workers (0 = preset; presets only)")
+		requests = flag.Int("requests", 0, "override number of requests (0 = preset; presets only)")
+		deadline = flag.Float64("deadline", 0, "override deadline in minutes (0 = preset; presets only)")
+		penalty  = flag.Float64("penalty", 0, "override penalty factor (0 = preset; presets only)")
+		capacity = flag.Float64("capacity", 0, "override mean worker capacity (0 = preset; presets only)")
 		gridKm   = flag.Float64("grid", 2, "grid cell size g in km")
-		seed     = flag.Int64("seed", 0, "override workload seed (0 = preset)")
-		repeat   = flag.Int("repeat", 1, "repetitions to average")
+		seed     = flag.Int64("seed", 0, "override workload seed (0 = preset; presets only)")
+		repeat   = flag.Int("repeat", 1, "repetitions to average (presets only)")
+		netFile  = flag.String("net", "", "run on this road-network file instead of a preset (urpsm-roadnet format)")
+		loadFile = flag.String("load", "", "workload stream for -net (urpsm-workload format)")
+		oracle   = flag.String("oracle", "", "distance oracle: hub|ch|bidijkstra|auto (default: hub for presets, auto for -net)")
 	)
 	flag.Parse()
-	if err := run(*dataset, *algo, *scale, *workers, *requests, *deadline,
-		*penalty, *capacity, *gridKm, *seed, *repeat); err != nil {
+	var err error
+	if *netFile != "" || *loadFile != "" {
+		// Imported workloads are fully materialized: the preset knobs have
+		// nothing to act on, so silently ignoring them would mislead.
+		presetOnly := map[string]bool{
+			"dataset": true, "scale": true, "workers": true, "requests": true,
+			"deadline": true, "penalty": true, "capacity": true, "seed": true,
+			"repeat": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if presetOnly[f.Name] && err == nil {
+				err = fmt.Errorf("-%s applies to presets only; it cannot modify the -net/-load files "+
+					"(re-import with different cmd/urpsm-import flags instead)", f.Name)
+			}
+		})
+		if err == nil {
+			err = runFiles(*netFile, *loadFile, *algo, *oracle, *gridKm)
+		}
+	} else {
+		err = run(*dataset, *algo, *oracle, *scale, *workers, *requests, *deadline,
+			*penalty, *capacity, *gridKm, *seed, *repeat)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset, algo string, scale float64, workers, requests int,
+// algoList expands "all" into the paper's comparison set.
+func algoList(algo string) []string {
+	if algo == "all" {
+		return expt.Algorithms
+	}
+	return []string{algo}
+}
+
+// runFiles simulates an imported network + workload pair.
+func runFiles(netFile, loadFile, algo, oracle string, gridKm float64) error {
+	if netFile == "" || loadFile == "" {
+		return fmt.Errorf("-net and -load must be given together")
+	}
+	nf, err := os.Open(netFile)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	g, err := roadnet.Read(nf)
+	if err != nil {
+		return err
+	}
+	lf, err := os.Open(loadFile)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	inst, err := workload.ReadStream(lf, g)
+	if err != nil {
+		return err
+	}
+
+	runner := expt.NewRunnerOn(g, workload.Params{Name: netFile}, 1)
+	runner.CellMeters = gridKm * 1000
+	if oracle == "" {
+		oracle = "auto" // imported networks may be beyond hub-label scale
+	}
+	runner.OracleKind = oracle
+	desc, err := runner.OracleDescription()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("net=%s |V|=%d |E|=%d requests=%d workers=%d oracle=%s\n",
+		netFile, g.NumVertices(), g.NumEdges(), len(inst.Requests), len(inst.Workers), desc)
+	for _, a := range algoList(algo) {
+		m, err := runner.RunInstance(inst, a)
+		if err != nil {
+			return err
+		}
+		fmt.Println(m.String())
+	}
+	return nil
+}
+
+func run(dataset, algo, oracle string, scale float64, workers, requests int,
 	deadlineMin, penalty, capacity, gridKm float64, seed int64, repeat int) error {
 	var p workload.Params
 	switch strings.ToLower(dataset) {
@@ -75,15 +161,18 @@ func run(dataset, algo string, scale float64, workers, requests int,
 		return err
 	}
 	runner.CellMeters = gridKm * 1000
-	fmt.Printf("dataset=%s |V|=%d |E|=%d requests=%d workers=%d deadline=%.0fs penalty=%.0fx\n",
-		p.Name, runner.G.NumVertices(), runner.G.NumEdges(),
-		p.NumRequests, p.NumWorkers, p.DeadlineSec, p.PenaltyFactor)
-
-	algos := []string{algo}
-	if algo == "all" {
-		algos = expt.Algorithms
+	if oracle != "" {
+		runner.OracleKind = oracle
 	}
-	for _, a := range algos {
+	desc, err := runner.OracleDescription()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset=%s |V|=%d |E|=%d requests=%d workers=%d deadline=%.0fs penalty=%.0fx oracle=%s\n",
+		p.Name, runner.G.NumVertices(), runner.G.NumEdges(),
+		p.NumRequests, p.NumWorkers, p.DeadlineSec, p.PenaltyFactor, desc)
+
+	for _, a := range algoList(algo) {
 		m, err := runner.RunOne(p, a)
 		if err != nil {
 			return err

@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target); targets are checked
+// below when they point into the repository.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// stripCodeFences removes ``` fenced blocks — link syntax inside quoted
+// code is not a document link.
+func stripCodeFences(s string) string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestMarkdownLinks walks every *.md file in the repository and verifies
+// that relative links resolve to existing files. External (http/mailto)
+// links are skipped — CI has no network and their liveness is not this
+// repository's contract. The CI docs job runs this test by name.
+func TestMarkdownLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	// Retrieval artifacts quote external documents whose links are not this
+	// repository's to fix.
+	generated := map[string]bool{"PAPER.md": true, "PAPERS.md": true, "SNIPPETS.md": true}
+	for _, md := range mdFiles {
+		if generated[filepath.Base(md)] {
+			continue
+		}
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(stripCodeFences(string(data)), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			}
+			// Strip an intra-document anchor; a bare anchor targets this file.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

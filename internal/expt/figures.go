@@ -117,7 +117,11 @@ type DatasetStats struct {
 
 // Table4 reports the dataset statistics row for this runner's dataset.
 func (r *Runner) Table4() (DatasetStats, error) {
-	counter := shortest.NewCounting(r.Hub)
+	base, _, err := r.oracle()
+	if err != nil {
+		return DatasetStats{}, err
+	}
+	counter := shortest.NewCounting(base)
 	inst, err := workload.BuildOn(r.Base, r.G, counter.Dist)
 	if err != nil {
 		return DatasetStats{}, err

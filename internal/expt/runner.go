@@ -4,7 +4,9 @@
 // penalty (Fig. 7), for all five compared algorithms, plus the dataset
 // statistics of Table 4 and an empirical run of the §3.3 hardness
 // constructions. Results come back as Series that cmd/urpsm-bench formats
-// into the paper's rows.
+// into the paper's rows. Runners also execute pre-materialized instances
+// (imported road networks and trip streams, cmd/urpsm-import) through
+// RunInstance.
 package expt
 
 import (
@@ -30,22 +32,32 @@ var AblationAlgorithms = []string{
 	"pruneGreedyBasic", "pruneGreedyNaive", "pruneGreedyDP-paper", "pruneGreedyDP+improve",
 }
 
-// Runner executes simulations over one dataset preset, sharing the
-// expensive pieces (road network, hub labeling) across all runs.
+// OracleKinds are the accepted values of Runner.OracleKind (and of the
+// CLIs' -oracle flag). "auto" resolves to one of the other tiers by vertex
+// count through shortest.Auto.
+var OracleKinds = []string{"hub", "ch", "bidijkstra", "auto"}
+
+// Runner executes simulations over one dataset, sharing the expensive
+// pieces (road network, preprocessed distance oracles) across all runs.
+// All preprocessing is lazy: a runner on a million-vertex import with
+// OracleKind "auto" or "bidijkstra" never pays for hub labels.
 type Runner struct {
 	Base   workload.Params
 	G      *roadnet.Graph
-	Hub    *shortest.HubLabels
 	Repeat int
 	// CellMeters is the grid cell size g used by every algorithm's index;
 	// the grid-size experiment overrides it per run.
 	CellMeters float64
 	// KineticMaxNodes caps the kinetic baseline's per-request search.
 	KineticMaxNodes int
-	// OracleKind picks the distance oracle: "hub" (default), "ch"
-	// (contraction hierarchies) or "bidijkstra" (no preprocessing) —
-	// the oracle ablation.
+	// OracleKind picks the distance oracle: "hub" (default, the paper's
+	// setup), "ch" (contraction hierarchies), "bidijkstra" (no
+	// preprocessing) or "auto" (scale-aware selection via shortest.Auto —
+	// see DESIGN.md §8.3).
 	OracleKind string
+	// AutoBudget bounds preprocessing for OracleKind "auto"; the zero
+	// value means shortest.DefaultAutoBudget().
+	AutoBudget shortest.AutoBudget
 	// Parallel > 1 plans pruneGreedyDP/GreedyDP with the parallel
 	// dispatcher (internal/dispatch) using that many goroutines, over a
 	// concurrency-safe oracle chain (sharded LRU, atomic query counter,
@@ -57,27 +69,41 @@ type Runner struct {
 	// the serial planner and the serial query chain.
 	Parallel int
 
-	ch *shortest.CH // built lazily for OracleKind == "ch"
+	hub *shortest.HubLabels // built lazily for OracleKind "hub" (or auto→hub)
+	ch  *shortest.CH        // built lazily for OracleKind "ch" (or auto→ch)
 }
 
-// NewRunner generates the dataset's road network and builds its hub
-// labeling once.
+// NewRunner generates the dataset's road network and wraps it in a runner.
 func NewRunner(base workload.Params, repeat int) (*Runner, error) {
-	if repeat < 1 {
-		repeat = 1
-	}
 	g, err := roadnet.Generate(base.Net)
 	if err != nil {
 		return nil, err
 	}
+	return NewRunnerOn(g, base, repeat), nil
+}
+
+// NewRunnerOn wraps an existing graph — typically an imported real road
+// network — in a runner. base supplies the dataset name and the sweep
+// defaults; its Net config is ignored.
+func NewRunnerOn(g *roadnet.Graph, base workload.Params, repeat int) *Runner {
+	if repeat < 1 {
+		repeat = 1
+	}
 	return &Runner{
 		Base:            base,
 		G:               g,
-		Hub:             shortest.BuildHubLabels(g),
 		Repeat:          repeat,
 		CellMeters:      2000,
 		KineticMaxNodes: 50000,
-	}, nil
+	}
+}
+
+// HubLabels returns the shared hub labeling, building it on first use.
+func (r *Runner) HubLabels() *shortest.HubLabels {
+	if r.hub == nil {
+		r.hub = shortest.BuildHubLabels(r.G)
+	}
+	return r.hub
 }
 
 // RunOne executes Repeat simulations of one algorithm under params p and
@@ -96,53 +122,126 @@ func (r *Runner) RunOne(p workload.Params, algo string) (sim.Metrics, error) {
 	return sim.Average(runs), nil
 }
 
-// oracle returns the configured base distance oracle.
-func (r *Runner) oracle() (shortest.Oracle, error) {
-	switch r.OracleKind {
+// autoBudget returns the effective budget for OracleKind "auto".
+func (r *Runner) autoBudget() shortest.AutoBudget {
+	if r.AutoBudget == (shortest.AutoBudget{}) {
+		return shortest.DefaultAutoBudget()
+	}
+	return r.AutoBudget
+}
+
+// oracle returns the configured base distance oracle together with its
+// resolved kind ("auto" comes back as the tier it selected). Auto shares
+// the per-kind caches, so switching between "auto" and the explicit tier
+// it resolves to (the oracle ablation does) never preprocesses twice.
+func (r *Runner) oracle() (shortest.Oracle, string, error) {
+	kind := r.OracleKind
+	if kind == "auto" {
+		kind = string(r.autoBudget().Choose(r.G.NumVertices()))
+	}
+	switch kind {
 	case "", "hub":
-		return r.Hub, nil
+		return r.HubLabels(), "hub", nil
 	case "ch":
 		if r.ch == nil {
 			r.ch = shortest.BuildCH(r.G)
 		}
-		return r.ch, nil
+		return r.ch, "ch", nil
 	case "bidijkstra":
-		return shortest.NewBiDijkstra(r.G), nil
+		return shortest.NewBiDijkstra(r.G), "bidijkstra", nil
 	default:
-		return nil, fmt.Errorf("expt: unknown oracle %q", r.OracleKind)
+		return nil, "", fmt.Errorf("expt: unknown oracle %q", r.OracleKind)
 	}
 }
 
-func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) {
-	base, err := r.oracle()
+// OracleDescription resolves the oracle configuration to a printable
+// string, e.g. "hub (avg label 61.2)" or "auto→bidijkstra". It builds the
+// oracle if needed.
+func (r *Runner) OracleDescription() (string, error) {
+	base, kind, err := r.oracle()
 	if err != nil {
-		return sim.Metrics{}, err
+		return "", err
+	}
+	desc := kind
+	if r.OracleKind == "auto" {
+		desc = "auto→" + kind
+	}
+	if h, ok := base.(*shortest.HubLabels); ok {
+		desc = fmt.Sprintf("%s (avg label %.1f)", desc, h.AvgLabelSize())
+	}
+	return desc, nil
+}
+
+// chain assembles the per-run query chain (cache + counter) over the base
+// oracle, concurrency-safe when algo will be dispatched in parallel.
+func (r *Runner) chain(algo string) (core.DistFunc, shortest.QueryCounter, bool, error) {
+	base, kind, err := r.oracle()
+	if err != nil {
+		return nil, nil, false, err
 	}
 	// The serial planners keep the paper's single-threaded query chain;
 	// parallel dispatch swaps in the concurrency-safe equivalents. The
 	// swap is scoped to the algorithms that actually dispatch in
 	// parallel so that -parallel cannot perturb any baseline's metrics.
 	useParallel := r.Parallel > 1 && (algo == "pruneGreedyDP" || algo == "GreedyDP")
-	var (
-		dist    core.DistFunc
-		queries shortest.QueryCounter
-	)
 	if useParallel {
-		if r.OracleKind == "ch" || r.OracleKind == "bidijkstra" {
+		if kind != "hub" {
 			base = shortest.NewLocked(base) // stateful oracles need the mutex
 		}
 		ac := shortest.NewAtomicCounting(base)
-		dist = shortest.NewShardedCached(ac, 1<<18, 64).Dist
-		queries = ac
-	} else {
-		c := shortest.NewCounting(base)
-		dist = shortest.NewCached(c, 1<<18).Dist
-		queries = c
+		return shortest.NewShardedCached(ac, 1<<18, 64).Dist, ac, true, nil
+	}
+	c := shortest.NewCounting(base)
+	return shortest.NewCached(c, 1<<18).Dist, c, false, nil
+}
+
+func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) {
+	dist, queries, useParallel, err := r.chain(algo)
+	if err != nil {
+		return sim.Metrics{}, err
 	}
 	inst, err := workload.BuildOn(p, r.G, dist)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
+	return r.runWith(inst, algo, dist, queries, useParallel)
+}
+
+// RunInstance runs one algorithm over a pre-materialized instance on this
+// runner's graph — the entry point for imported workloads (trip streams
+// map-matched by cmd/urpsm-import) whose requests and penalties are
+// already fixed. The caller's instance is left untouched: the engine
+// mutates worker state (positions, routes, travel totals) during a run,
+// so the simulation operates on a private copy — repeated RunInstance
+// calls on one instance (urpsm-sim -algo all) each start from the same
+// fleet placement.
+func (r *Runner) RunInstance(inst *workload.Instance, algo string) (sim.Metrics, error) {
+	if inst.Graph != r.G {
+		return sim.Metrics{}, fmt.Errorf("expt: instance graph differs from runner graph")
+	}
+	dist, queries, useParallel, err := r.chain(algo)
+	if err != nil {
+		return sim.Metrics{}, err
+	}
+	workers := make([]*core.Worker, len(inst.Workers))
+	for i, w := range inst.Workers {
+		cw := *w
+		cw.Route.Stops = append([]core.Stop(nil), w.Route.Stops...)
+		cw.Route.Arr = append([]float64(nil), w.Route.Arr...)
+		workers[i] = &cw
+	}
+	private := &workload.Instance{
+		Params:   inst.Params,
+		Graph:    inst.Graph,
+		Requests: append([]*core.Request(nil), inst.Requests...),
+		Workers:  workers,
+	}
+	return r.runWith(private, algo, dist, queries, useParallel)
+}
+
+// runWith wires fleet, planner and engine for one simulation run.
+func (r *Runner) runWith(inst *workload.Instance, algo string, dist core.DistFunc,
+	queries shortest.QueryCounter, useParallel bool) (sim.Metrics, error) {
 	fleet, err := core.NewFleet(r.G, dist, inst.Workers, r.CellMeters)
 	if err != nil {
 		return sim.Metrics{}, err
@@ -211,7 +310,13 @@ func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) 
 		return sim.Metrics{}, err
 	}
 	if err := eng.FastForward(); err != nil {
-		return sim.Metrics{}, fmt.Errorf("expt: %s on %s: %w", algo, p.Name, err)
+		// Imported instances carry zero Params; fall back to the runner's
+		// dataset name so the error still says where it happened.
+		name := inst.Params.Name
+		if name == "" {
+			name = r.Base.Name
+		}
+		return sim.Metrics{}, fmt.Errorf("expt: %s on %s: %w", algo, name, err)
 	}
 	m.GridMemoryBytes = gridMem
 	return m, nil

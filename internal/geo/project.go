@@ -1,0 +1,37 @@
+package geo
+
+// Projection maps source coordinates into the local planar frame shared by
+// the road network and the spatial indexes. Imported datasets come in two
+// flavors: geographic (latitude/longitude in degrees, e.g. DIMACS road
+// networks and trip records) and already-planar (our own DIMACS exports,
+// which store centimeters). Carrying the projection alongside an imported
+// graph lets the trip-record adapter place pickup/drop-off coordinates in
+// exactly the frame the graph's vertices live in.
+type Projection struct {
+	// Lat0, Lon0 is the projection center in degrees (geographic mode).
+	Lat0, Lon0 float64
+	// Planar marks a source whose coordinates are already planar meters;
+	// Point then passes them through unchanged.
+	Planar bool
+}
+
+// PlanarProjection returns the identity projection for sources that are
+// already expressed in planar meters.
+func PlanarProjection() Projection { return Projection{Planar: true} }
+
+// NewProjection returns an equirectangular projection centered at
+// (lat0, lon0) degrees.
+func NewProjection(lat0, lon0 float64) Projection {
+	return Projection{Lat0: lat0, Lon0: lon0}
+}
+
+// Point maps a coordinate pair to the planar frame. In geographic mode the
+// arguments are (latitude, longitude) in degrees; in planar mode they are
+// (y, x) in meters, mirroring the lat-first argument order so callers can
+// treat both modes uniformly.
+func (p Projection) Point(lat, lon float64) Point {
+	if p.Planar {
+		return Point{X: lon, Y: lat}
+	}
+	return ProjectLatLon(lat, lon, p.Lat0, p.Lon0)
+}

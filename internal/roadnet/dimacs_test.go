@@ -1,0 +1,218 @@
+package roadnet
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func openFixture(t *testing.T, name string) *os.File {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("open fixture: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func loadFixture(t *testing.T, opts DIMACSOptions) (*Graph, *DIMACSStats) {
+	t.Helper()
+	g, stats, err := LoadDIMACS(openFixture(t, "sample.gr"), openFixture(t, "sample.co"), opts)
+	if err != nil {
+		t.Fatalf("LoadDIMACS: %v", err)
+	}
+	return g, stats
+}
+
+func TestLoadDIMACSFixture(t *testing.T) {
+	g, stats := loadFixture(t, DefaultDIMACSOptions())
+
+	// The fixture is a 4x4 grid plus a detached 2-node component; the
+	// largest-component extraction must keep only the grid.
+	if g.NumVertices() != 16 {
+		t.Fatalf("vertices = %d, want 16", g.NumVertices())
+	}
+	if g.NumEdges() != 24 {
+		t.Fatalf("edges = %d, want 24", g.NumEdges())
+	}
+	if !g.IsConnected() {
+		t.Fatal("loaded graph not connected")
+	}
+	if stats.NodesDeclared != 18 || stats.NodesKept != 18 {
+		t.Errorf("node stats = %+v, want declared/kept 18/18", stats)
+	}
+	if stats.EdgesKept != 25 || stats.SelfLoops != 1 || stats.Components != 2 {
+		t.Errorf("edge stats = %+v, want 25 edges, 1 self-loop, 2 components", stats)
+	}
+	if stats.Proj.Planar {
+		t.Error("geographic fixture produced a planar projection")
+	}
+	// Duplicate arc (1,2) with weight 900 must collapse to the minimum 500.
+	if c, ok := g.EdgeCost(0, 1); !ok || math.Abs(c-500/geo.Arterial.Speed()) > 1e-9 {
+		t.Errorf("edge (0,1) cost = %v, %v; want 500m at arterial speed", c, ok)
+	}
+	// Every edge must satisfy the Euclidean lower bound the planner assumes.
+	for _, e := range g.Edges() {
+		if euc := g.Euclid(e.U, e.V); e.Meters < euc-1e-9 {
+			t.Fatalf("edge (%d,%d): %vm below Euclidean %vm", e.U, e.V, e.Meters, euc)
+		}
+		if e.Class != geo.Arterial {
+			t.Fatalf("edge (%d,%d) class = %v, want default arterial", e.U, e.V, e.Class)
+		}
+	}
+}
+
+func TestLoadDIMACSMaxNodes(t *testing.T) {
+	opts := DefaultDIMACSOptions()
+	opts.MaxNodes = 8
+	g, stats := loadFixture(t, opts)
+	// The first 8 IDs form the bottom two grid rows: 2x4 vertices, 10 edges.
+	if g.NumVertices() != 8 || g.NumEdges() != 10 {
+		t.Fatalf("|V|=%d |E|=%d, want 8/10", g.NumVertices(), g.NumEdges())
+	}
+	if stats.DroppedArcs == 0 {
+		t.Error("expected dropped arcs when subsetting")
+	}
+}
+
+func TestLoadDIMACSBox(t *testing.T) {
+	opts := DefaultDIMACSOptions()
+	// Window around the first grid column (lon 104.000, lat 30.600-30.614).
+	opts.Box = &DIMACSBox{MinLon: 103.999, MaxLon: 104.0001, MinLat: 30.5, MaxLat: 30.7}
+	g, stats := loadFixture(t, opts)
+	if g.NumVertices() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("|V|=%d |E|=%d, want the 4-vertex column path", g.NumVertices(), g.NumEdges())
+	}
+	// The projection must center on the subset, not the whole file: the kept
+	// column spans lon 104.000, lat 30.600–30.6135.
+	if math.Abs(stats.Proj.Lon0-104.0) > 1e-6 || math.Abs(stats.Proj.Lat0-30.60675) > 1e-6 {
+		t.Fatalf("projection center (%v,%v) not centered on subset", stats.Proj.Lat0, stats.Proj.Lon0)
+	}
+}
+
+func TestLoadDIMACSKeepAllComponents(t *testing.T) {
+	opts := DefaultDIMACSOptions()
+	opts.KeepAllComponents = true
+	g, stats := loadFixture(t, opts)
+	if g.NumVertices() != 18 || g.NumEdges() != 25 {
+		t.Fatalf("|V|=%d |E|=%d, want 18/25", g.NumVertices(), g.NumEdges())
+	}
+	if stats.Components != 2 {
+		t.Fatalf("components = %d, want 2", stats.Components)
+	}
+}
+
+func TestLoadDIMACSClampsToEuclid(t *testing.T) {
+	// Two nodes ~500m apart joined by a 1m arc: the loader must lengthen the
+	// edge to the Euclidean distance to keep lower bounds admissible.
+	co := "p aux sp co 2\nv 1 104000000 30600000\nv 2 104005000 30600000\n"
+	gr := "p sp 2 2\na 1 2 1\na 2 1 1\n"
+	g, stats, err := LoadDIMACS(strings.NewReader(gr), strings.NewReader(co), DefaultDIMACSOptions())
+	if err != nil {
+		t.Fatalf("LoadDIMACS: %v", err)
+	}
+	if stats.Clamped != 1 {
+		t.Fatalf("clamped = %d, want 1", stats.Clamped)
+	}
+	e := g.Edges()[0]
+	if euc := g.Euclid(e.U, e.V); math.Abs(e.Meters-euc) > 1e-9 || euc < 400 {
+		t.Fatalf("edge length %v, want Euclidean %v (≈479m)", e.Meters, euc)
+	}
+}
+
+func TestLoadDIMACSErrors(t *testing.T) {
+	goodCo := "p aux sp co 2\nv 1 104000000 30600000\nv 2 104005000 30600000\n"
+	goodGr := "p sp 2 2\na 1 2 500\na 2 1 500\n"
+	cases := []struct {
+		name   string
+		gr, co string
+	}{
+		{"empty both", "", ""},
+		{"co missing problem line", goodGr, "v 1 104000000 30600000\n"},
+		{"co bad vertex line", goodGr, "p aux sp co 2\nv 1 foo bar\nv 2 0 0\n"},
+		{"co duplicate vertex", goodGr, "p aux sp co 2\nv 1 0 0\nv 1 0 0\n"},
+		{"co id out of range", goodGr, "p aux sp co 2\nv 3 0 0\n"},
+		{"co huge node count", goodGr, "p aux sp co 99999999999\n"},
+		{"gr missing problem line", "a 1 2 500\n", goodCo},
+		{"gr node count mismatch", "p sp 3 1\na 1 2 500\n", goodCo},
+		{"gr bad arc", "p sp 2 1\na 1 x 500\n", goodCo},
+		{"gr negative weight", "p sp 2 1\na 1 2 -5\n", goodCo},
+		{"gr arc id out of range", "p sp 2 1\na 1 9 500\n", goodCo},
+		{"gr more arcs than declared", "p sp 2 1\na 1 2 500\na 2 1 500\n", goodCo},
+		{"gr truncated arc section", "p sp 2 2\na 1 2 500\n", goodCo},
+		{"gr missing coordinates", "p sp 2 1\na 1 2 500\n", "p aux sp co 2\nv 1 0 0\n"},
+		{"gr garbage line", "p sp 2 1\nwhat\n", goodCo},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := LoadDIMACS(strings.NewReader(tc.gr), strings.NewReader(tc.co), DefaultDIMACSOptions())
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+// TestDIMACSRoundTrip checks the synthetic→DIMACS→load loop the import
+// pipeline relies on: structure and classes survive exactly, geometry to
+// centimeter precision, and a second write is byte-identical to the first
+// (the format is a fixpoint of load∘write).
+func TestDIMACSRoundTrip(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Rows, cfg.Cols = 12, 12
+	g, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+
+	var gr1, co1 bytes.Buffer
+	if err := WriteDIMACS(&gr1, &co1, g); err != nil {
+		t.Fatalf("WriteDIMACS: %v", err)
+	}
+	g2, stats, err := LoadDIMACS(bytes.NewReader(gr1.Bytes()), bytes.NewReader(co1.Bytes()), DIMACSOptions{})
+	if err != nil {
+		t.Fatalf("LoadDIMACS: %v", err)
+	}
+	if !stats.Proj.Planar {
+		t.Error("planar export lost its planar marker")
+	}
+
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip |V|,|E| = %d,%d; want %d,%d",
+			g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	const cm = 0.01
+	for v := 0; v < g.NumVertices(); v++ {
+		p, q := g.Point(VertexID(v)), g2.Point(VertexID(v))
+		if math.Abs(p.X-q.X) > cm/2+1e-9 || math.Abs(p.Y-q.Y) > cm/2+1e-9 {
+			t.Fatalf("vertex %d moved: %v -> %v", v, p, q)
+		}
+	}
+	e1, e2 := g.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i].U != e2[i].U || e1[i].V != e2[i].V || e1[i].Class != e2[i].Class {
+			t.Fatalf("edge %d changed: %+v -> %+v", i, e1[i], e2[i])
+		}
+		// Centimeter quantization plus at most one Euclidean bump.
+		if math.Abs(e1[i].Meters-e2[i].Meters) > 2*cm {
+			t.Fatalf("edge %d length %v -> %v", i, e1[i].Meters, e2[i].Meters)
+		}
+	}
+
+	var gr2, co2 bytes.Buffer
+	if err := WriteDIMACS(&gr2, &co2, g2); err != nil {
+		t.Fatalf("WriteDIMACS(round trip): %v", err)
+	}
+	if !bytes.Equal(gr1.Bytes(), gr2.Bytes()) {
+		t.Error("gr file not byte-stable across load→write")
+	}
+	if !bytes.Equal(co1.Bytes(), co2.Bytes()) {
+		t.Error("co file not byte-stable across load→write")
+	}
+}

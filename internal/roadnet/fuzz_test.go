@@ -1,0 +1,93 @@
+package roadnet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The parsers in this package consume untrusted files (downloaded DIMACS
+// dumps, hand-edited network files). The fuzz contract: malformed input
+// returns an error — it never panics, and with a bounded node limit it
+// never allocates proportionally to a lying header. `go test` replays the
+// seed corpus; run `go test -fuzz FuzzRead ./internal/roadnet` to explore.
+
+func FuzzRead(f *testing.F) {
+	// A valid file produced by Write, plus truncations and corruptions.
+	g, err := Generate(GenConfig{Rows: 4, Cols: 4, Spacing: 100, Jitter: 0.1,
+		DetourMin: 1, DetourMax: 1.2, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("urpsm-roadnet 1\nv 3\n0 0\n1 1\n2 2\ne 1\n0 1 5 0\n"))
+	f.Add([]byte("urpsm-roadnet 1\nv 99999999999\n"))
+	f.Add([]byte("urpsm-roadnet 1\nv 2\n0 0\nNaN Inf\ne 0\n"))
+	f.Add([]byte("urpsm-roadnet 1\nv 2\n0 0\n1 1\ne 1\n0 1 -5 0\n"))
+	f.Add([]byte("urpsm-roadnet 1\nv 2\n0 0\n1 1\ne 1\n0 9 5 0\n"))
+	f.Add([]byte("wrong header\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err == nil && g == nil {
+			t.Fatal("nil graph without error")
+		}
+		if err == nil && g.NumVertices() == 0 {
+			t.Fatal("empty graph without error")
+		}
+	})
+}
+
+func FuzzLoadDIMACS(f *testing.F) {
+	readFixture := func(name string) []byte {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	gr, co := readFixture("sample.gr"), readFixture("sample.co")
+	f.Add(gr, co)
+	f.Add(gr[:len(gr)/2], co[:len(co)/2])
+	// A planar export pair.
+	g, err := LineGraph(4, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var grB, coB bytes.Buffer
+	if err := WriteDIMACS(&grB, &coB, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(grB.Bytes(), coB.Bytes())
+	f.Add([]byte("p sp 99999999 1\na 1 2 1\n"), []byte("p aux sp co 99999999\nv 99999999 0 0\n"))
+	f.Add([]byte("p sp 2 1\na 1 2 NaN\n"), []byte("p aux sp co 2\nv 1 0 0\nv 2 1 1\n"))
+	f.Add([]byte(""), []byte(""))
+	f.Fuzz(func(t *testing.T, grData, coData []byte) {
+		opts := DefaultDIMACSOptions()
+		// Bound allocations the way an untrusted ingest should.
+		opts.MaxNodes = 1 << 12
+		g, stats, err := LoadDIMACS(bytes.NewReader(grData), bytes.NewReader(coData), opts)
+		if err != nil {
+			return
+		}
+		if g == nil || stats == nil {
+			t.Fatal("nil result without error")
+		}
+		if g.NumVertices() == 0 {
+			t.Fatal("empty graph without error")
+		}
+		// Loaded edges must keep the Euclidean lower bound the planners
+		// rely on, whatever the input claimed.
+		for _, e := range g.Edges() {
+			if euc := g.Euclid(e.U, e.V); e.Meters < euc-1e-9 {
+				t.Fatalf("edge (%d,%d) length %v below Euclidean %v", e.U, e.V, e.Meters, euc)
+			}
+		}
+	})
+}

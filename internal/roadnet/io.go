@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -18,8 +19,10 @@ import (
 //	e <numEdges>
 //	<u> <v> <meters> <class> (numEdges lines)
 //
-// It exists so cmd/netgen can persist generated cities and experiments can
-// replay identical inputs without regeneration.
+// It exists so cmd/netgen and cmd/urpsm-import can persist road networks
+// and experiments can replay identical inputs without regeneration. The
+// full specification lives in FORMATS.md §2; DIMACS ingestion is in
+// dimacs.go (FORMATS.md §3).
 
 const formatHeader = "urpsm-roadnet 1"
 
@@ -73,7 +76,13 @@ func Read(r io.Reader) (*Graph, error) {
 	if _, err := fmt.Sscanf(vline, "v %d", &nv); err != nil || nv <= 0 {
 		return nil, fmt.Errorf("roadnet: bad vertex count line %q", vline)
 	}
-	b := NewBuilder(nv, nv*2)
+	// Capacity hints are clamped so a malformed count cannot force a huge
+	// allocation before the (missing) vertex lines are even read.
+	hint := nv
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	b := NewBuilder(hint, hint*2)
 	for i := 0; i < nv; i++ {
 		s, err := line()
 		if err != nil {
@@ -85,7 +94,8 @@ func Read(r io.Reader) (*Graph, error) {
 		}
 		x, err1 := strconv.ParseFloat(fields[0], 64)
 		y, err2 := strconv.ParseFloat(fields[1], 64)
-		if err1 != nil || err2 != nil {
+		if err1 != nil || err2 != nil ||
+			math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
 			return nil, fmt.Errorf("roadnet: vertex %d: bad coordinates %q", i, s)
 		}
 		b.AddVertex(geo.Point{X: x, Y: y})

@@ -1,0 +1,92 @@
+package shortest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func TestAutoBudgetChoose(t *testing.T) {
+	b := AutoBudget{MaxHubVertices: 100, MaxCHVertices: 1000}
+	cases := []struct {
+		n    int
+		want AutoKind
+	}{
+		{1, AutoHub}, {100, AutoHub},
+		{101, AutoCH}, {1000, AutoCH},
+		{1001, AutoBiDijkstra}, {1 << 30, AutoBiDijkstra},
+	}
+	for _, tc := range cases {
+		if got := b.Choose(tc.n); got != tc.want {
+			t.Errorf("Choose(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestAutoMatchesDijkstra forces each tier in turn via the budget and
+// asserts its distances equal plain Dijkstra's on sampled pairs — the
+// equivalence contract that makes the tier choice a pure performance
+// decision.
+func TestAutoMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 16, 16, 42)
+	n := g.NumVertices()
+	budgets := map[AutoKind]AutoBudget{
+		AutoHub:        {MaxHubVertices: n, MaxCHVertices: n},
+		AutoCH:         {MaxHubVertices: 0, MaxCHVertices: n},
+		AutoBiDijkstra: {MaxHubVertices: 0, MaxCHVertices: 0},
+	}
+	ref := NewDijkstra(g)
+	for want, budget := range budgets {
+		t.Run(string(want), func(t *testing.T) {
+			oracle, kind := Auto(g, budget)
+			if kind != want {
+				t.Fatalf("Auto chose %q, want %q", kind, want)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for q := 0; q < 300; q++ {
+				s := roadnet.VertexID(rng.Intn(n))
+				d := roadnet.VertexID(rng.Intn(n))
+				if got, exp := oracle.Dist(s, d), ref.Dist(s, d); math.Abs(got-exp) > 1e-6 {
+					t.Fatalf("%s: Dist(%d,%d) = %v, want %v", kind, s, d, got, exp)
+				}
+			}
+		})
+	}
+}
+
+func TestAutoDefaultBudgetOrdering(t *testing.T) {
+	b := DefaultAutoBudget()
+	if b.MaxHubVertices <= 0 || b.MaxCHVertices <= b.MaxHubVertices {
+		t.Fatalf("default budget not ordered: %+v", b)
+	}
+}
+
+// BenchmarkOracleTiers backs the Auto thresholds with numbers: per-tier
+// preprocessing cost and query latency on one mid-size synthetic city.
+// Run with: go test ./internal/shortest -bench OracleTiers -benchtime 10x
+func BenchmarkOracleTiers(b *testing.B) {
+	g := testGraph(b, 45, 45, 3)
+	n := g.NumVertices()
+	build := map[AutoKind]func() Oracle{
+		AutoHub:        func() Oracle { return BuildHubLabels(g) },
+		AutoCH:         func() Oracle { return BuildCH(g) },
+		AutoBiDijkstra: func() Oracle { return NewBiDijkstra(g) },
+	}
+	for _, kind := range []AutoKind{AutoHub, AutoCH, AutoBiDijkstra} {
+		b.Run(fmt.Sprintf("build/%s", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				build[kind]()
+			}
+		})
+		oracle := build[kind]()
+		b.Run(fmt.Sprintf("query/%s", kind), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				oracle.Dist(roadnet.VertexID(rng.Intn(n)), roadnet.VertexID(rng.Intn(n)))
+			}
+		})
+	}
+}

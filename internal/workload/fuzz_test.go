@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+)
+
+// Fuzz targets for the two workload parsers. The contract matches the
+// roadnet parsers': malformed input returns an error, never a panic, and
+// never an allocation driven by a lying header count. `go test` replays
+// the seed corpus; run `go test -fuzz FuzzReadStream ./internal/workload`
+// to explore.
+
+// fuzzGraph is a tiny fixed graph the fuzzed payloads are validated
+// against (vertex range checks need one).
+func fuzzGraph(tb testing.TB) *roadnet.Graph {
+	tb.Helper()
+	g, err := roadnet.LineGraph(8, 10)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
+func FuzzReadStream(f *testing.F) {
+	g := fuzzGraph(f)
+	inst := &Instance{
+		Graph: g,
+		Workers: []*core.Worker{
+			{ID: 0, Capacity: 3, Route: core.Route{Loc: 0}},
+			{ID: 1, Capacity: 2, Route: core.Route{Loc: 5}},
+		},
+		Requests: []*core.Request{
+			{ID: 0, Origin: 1, Dest: 6, Release: 0, Deadline: 300, Penalty: 10, Capacity: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, inst); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("urpsm-workload 1\nw 99999999999\n"))
+	f.Add([]byte("urpsm-workload 1\nw 1\n0 1\nr 1\n1 6 0 NaN 10 1\n"))
+	f.Add([]byte("urpsm-workload 1\nw 1\n0 1\nr 1\n1 99 0 300 10 1\n"))
+	f.Add([]byte("urpsm-workload 1\nw 1\n0 0\nr 0\n"))
+	f.Add([]byte("not a workload\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := ReadStream(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		if inst == nil {
+			t.Fatal("nil instance without error")
+		}
+		nv := g.NumVertices()
+		for _, w := range inst.Workers {
+			if int(w.Route.Loc) >= nv || w.Route.Loc < 0 || w.Capacity < 1 {
+				t.Fatalf("invalid worker accepted: %+v", w)
+			}
+		}
+		for _, r := range inst.Requests {
+			if int(r.Origin) >= nv || int(r.Dest) >= nv || r.Origin < 0 || r.Dest < 0 {
+				t.Fatalf("out-of-range request accepted: %+v", r)
+			}
+			if err := r.Validate(); err != nil {
+				t.Fatalf("invalid request accepted: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzReadTripCSV(f *testing.F) {
+	f.Add("time,plon,plat,dlon,dlat,pass\n10,10,0,60,0,1\n20,30,0,70,0,2\n")
+	f.Add("10,10,0,60,0,1\n")
+	f.Add("2016-11-18 08:00:00,10,0,60,0,1\n")
+	f.Add("10,NaN,0,60,0,1\n")
+	f.Add("10,10,0\n")
+	f.Add("\"unclosed,10,0,60,0,1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		g := fuzzGraph(t)
+		dist := func(u, v roadnet.VertexID) float64 { return 1 }
+		cfg := DefaultTripConfig(geo.PlanarProjection())
+		cfg.MaxTrips = 64
+		inst, _, err := ReadTripCSV(strings.NewReader(data), g, dist, cfg)
+		if err != nil {
+			return
+		}
+		for _, r := range inst.Requests {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("invalid request accepted: %v", err)
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -20,8 +21,9 @@ import (
 //	r <numRequests>
 //	<origin> <dest> <release> <deadline> <penalty> <capacity>
 //
-// It lets cmd/netgen persist generated workloads so experiments replay
-// identical inputs.
+// It lets cmd/netgen and cmd/urpsm-import persist workloads (synthetic or
+// map-matched from real trip records, trips.go) so experiments replay
+// identical inputs. The full specification lives in FORMATS.md §1.
 
 const workloadHeader = "urpsm-workload 1"
 
@@ -120,7 +122,9 @@ func ReadStream(rd io.Reader, g *roadnet.Graph) (*Instance, error) {
 		er, err4 := strconv.ParseFloat(f[3], 64)
 		pr, err5 := strconv.ParseFloat(f[4], 64)
 		kr, err6 := strconv.ParseInt(f[5], 10, 32)
-		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil {
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil || err6 != nil ||
+			math.IsNaN(tr) || math.IsInf(tr, 0) || math.IsNaN(er) || math.IsInf(er, 0) ||
+			math.IsNaN(pr) || math.IsInf(pr, 0) {
 			return nil, fmt.Errorf("workload: request %d: bad fields %q", i, s)
 		}
 		if o < 0 || o >= nv || d < 0 || d >= nv {

@@ -1,0 +1,318 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/spatial"
+)
+
+// This file adapts real trip-record streams (the shape of the paper's Didi
+// GAIA and NYC TLC datasets: a CSV row per trip with pickup/drop-off
+// coordinates, a request time and a passenger count) onto an imported road
+// network. Coordinates are projected into the graph's planar frame and
+// map-matched to the nearest road vertex through a spatial.Grid vertex
+// index; the result is a regular Instance that WriteStream can persist as a
+// `urpsm-workload 1` stream (FORMATS.md §1).
+
+// TripConfig controls ReadTripCSV. Column indices are 0-based; set an
+// optional column to -1 to disable it. The zero value is not useful — start
+// from DefaultTripConfig.
+type TripConfig struct {
+	// Proj maps the CSV's (lat, lon) coordinates into the graph's planar
+	// frame; use the projection returned by roadnet.LoadDIMACS for the
+	// graph being matched against.
+	Proj geo.Projection
+
+	// TimeCol is the request/pickup time column: either seconds (float) or
+	// a "2006-01-02 15:04:05" / RFC 3339 timestamp. Release times are
+	// normalized so the earliest trip starts at 0.
+	TimeCol int
+	// PickupLonCol/PickupLatCol locate the pickup coordinate columns.
+	PickupLonCol, PickupLatCol int
+	// DropoffLonCol/DropoffLatCol locate the drop-off coordinate columns.
+	DropoffLonCol, DropoffLatCol int
+	// PassengerCol is the passenger-count column for K_r, clamped into
+	// [1, 6] like the paper's NYC distribution; -1 makes every K_r = 1.
+	PassengerCol int
+
+	// MaxMatchMeters drops trips whose pickup or drop-off lies farther than
+	// this from every road vertex (0 = 500).
+	MaxMatchMeters float64
+	// DeadlineSec sets e_r = t_r + DeadlineSec (0 = 600, the paper's 10min).
+	DeadlineSec float64
+	// PenaltyFactor sets p_r = PenaltyFactor · dis(o_r, d_r) (0 = 10).
+	PenaltyFactor float64
+	// MaxTrips stops after this many accepted trips (0 = all).
+	MaxTrips int
+
+	// NumWorkers synthesizes this many workers at uniformly random vertices
+	// (trip records carry no fleet; 0 = one worker per 10 trips, min 1).
+	NumWorkers int
+	// WorkerCapacityMean draws K_w ~ round(N(mean,1)) clamped ≥ 1, the
+	// paper's §6.1 fleet model (values < 1 become 4).
+	WorkerCapacityMean float64
+	// Seed drives worker placement and capacities.
+	Seed int64
+}
+
+// DefaultTripConfig returns the column layout of the checked-in sample
+// (time, pickup lon/lat, drop-off lon/lat, passengers) and the paper-like
+// deadline/penalty defaults, bound to the given projection.
+func DefaultTripConfig(proj geo.Projection) TripConfig {
+	return TripConfig{
+		Proj:    proj,
+		TimeCol: 0, PickupLonCol: 1, PickupLatCol: 2,
+		DropoffLonCol: 3, DropoffLatCol: 4, PassengerCol: 5,
+		MaxMatchMeters: 500, DeadlineSec: 600, PenaltyFactor: 10,
+		WorkerCapacityMean: 4,
+	}
+}
+
+// TripStats reports what ReadTripCSV accepted and why rows were skipped.
+type TripStats struct {
+	Rows               int // data rows read (excluding a detected header)
+	Trips              int // rows converted into requests
+	SkippedParse       int // rows with unparseable fields
+	SkippedUnmatched   int // rows beyond MaxMatchMeters from the network
+	SkippedSameStop    int // rows whose endpoints matched the same vertex
+	SkippedUnreachable int // rows whose endpoints lie in different components
+	MaxMatchMeters     float64
+	// WorstMatchMeters is the largest accepted pickup/drop-off snap
+	// distance — a quick map-matching quality check.
+	WorstMatchMeters float64
+}
+
+// vertexMatcher answers nearest-road-vertex queries through a spatial.Grid
+// holding every graph vertex. Within(r) enumerates all vertices inside r,
+// so the first non-empty radius of the doubling search already contains the
+// exact nearest vertex. It deliberately builds on the concurrent
+// spatial.Grid rather than roadnet.VertexLocator: matching is a one-shot
+// ingest cost, and the RW-locked index keeps the adapter usable from a
+// future concurrent ingest path for the price of a little map overhead.
+type vertexMatcher struct {
+	grid *spatial.Grid
+	cell float64
+}
+
+func newVertexMatcher(g *roadnet.Graph) (*vertexMatcher, error) {
+	b := g.Bounds()
+	area := math.Max(b.Width()*b.Height(), 1)
+	cell := math.Max(10, math.Sqrt(area/float64(g.NumVertices()+1))*2)
+	grid, err := spatial.NewGrid(b, cell)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		grid.Insert(spatial.ItemID(v), g.Point(roadnet.VertexID(v)))
+	}
+	return &vertexMatcher{grid: grid, cell: cell}, nil
+}
+
+// match returns the vertex nearest to p and its distance, or ok=false when
+// nothing lies within maxMeters.
+func (m *vertexMatcher) match(p geo.Point, maxMeters float64) (roadnet.VertexID, float64, bool) {
+	for r := m.cell; ; r *= 2 {
+		if r > maxMeters {
+			r = maxMeters
+		}
+		best := roadnet.VertexID(-1)
+		bestD := math.Inf(1)
+		m.grid.Within(p, r, func(id spatial.ItemID, pos geo.Point) bool {
+			if d := p.DistSq(pos); d < bestD {
+				bestD = d
+				best = roadnet.VertexID(id)
+			}
+			return true
+		})
+		if best >= 0 {
+			return best, math.Sqrt(bestD), true
+		}
+		if r >= maxMeters {
+			return -1, 0, false
+		}
+	}
+}
+
+// parseTripTime accepts seconds-as-float or common timestamp layouts.
+func parseTripTime(s string) (float64, error) {
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0, fmt.Errorf("workload: non-finite time %q", s)
+		}
+		return v, nil
+	}
+	for _, layout := range []string{"2006-01-02 15:04:05", time.RFC3339} {
+		if ts, err := time.Parse(layout, s); err == nil {
+			return float64(ts.Unix()), nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unparseable time %q", s)
+}
+
+// ReadTripCSV converts a trip-record CSV into a workload Instance on graph
+// g. A header row is detected (its time column does not parse) and
+// skipped. The dist oracle prices each request's penalty, exactly as in
+// BuildOn. Rows that cannot be parsed, matched within MaxMatchMeters, or
+// that collapse onto a single vertex are skipped and counted in the stats —
+// real trip data is dirty, and dropping a row is the correct response to
+// all three conditions.
+func ReadTripCSV(r io.Reader, g *roadnet.Graph, dist core.DistFunc, cfg TripConfig) (*Instance, *TripStats, error) {
+	maxCol := cfg.TimeCol
+	for _, c := range []int{cfg.PickupLonCol, cfg.PickupLatCol, cfg.DropoffLonCol, cfg.DropoffLatCol, cfg.PassengerCol} {
+		if c > maxCol {
+			maxCol = c
+		}
+	}
+	if cfg.TimeCol < 0 || cfg.PickupLonCol < 0 || cfg.PickupLatCol < 0 ||
+		cfg.DropoffLonCol < 0 || cfg.DropoffLatCol < 0 {
+		return nil, nil, fmt.Errorf("workload: trip time and coordinate columns are required")
+	}
+	if cfg.MaxMatchMeters <= 0 {
+		cfg.MaxMatchMeters = 500
+	}
+	if cfg.DeadlineSec <= 0 {
+		cfg.DeadlineSec = 600
+	}
+	if cfg.PenaltyFactor <= 0 {
+		cfg.PenaltyFactor = 10
+	}
+	if cfg.WorkerCapacityMean < 1 {
+		cfg.WorkerCapacityMean = 4
+	}
+
+	matcher, err := newVertexMatcher(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &TripStats{MaxMatchMeters: cfg.MaxMatchMeters}
+
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // row width validated against maxCol below
+	cr.TrimLeadingSpace = true
+
+	type trip struct {
+		o, d    roadnet.VertexID
+		release float64
+		dis     float64 // shortest travel time o→d, prices the penalty
+		cap     int
+	}
+	var trips []trip
+	minRelease := math.Inf(1)
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: trips csv: %w", err)
+		}
+		if len(rec) <= maxCol {
+			if first {
+				first = false
+				continue // short header line
+			}
+			stats.Rows++
+			stats.SkippedParse++
+			continue
+		}
+		release, terr := parseTripTime(rec[cfg.TimeCol])
+		if first {
+			first = false
+			if terr != nil {
+				continue // header row
+			}
+		}
+		stats.Rows++
+		plon, err1 := strconv.ParseFloat(rec[cfg.PickupLonCol], 64)
+		plat, err2 := strconv.ParseFloat(rec[cfg.PickupLatCol], 64)
+		dlon, err3 := strconv.ParseFloat(rec[cfg.DropoffLonCol], 64)
+		dlat, err4 := strconv.ParseFloat(rec[cfg.DropoffLatCol], 64)
+		if terr != nil || err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			stats.SkippedParse++
+			continue
+		}
+		kr := 1
+		if cfg.PassengerCol >= 0 {
+			v, err := strconv.Atoi(rec[cfg.PassengerCol])
+			if err != nil {
+				stats.SkippedParse++
+				continue
+			}
+			kr = min(max(v, 1), len(NYCCapacityDist))
+		}
+		o, od, okO := matcher.match(cfg.Proj.Point(plat, plon), cfg.MaxMatchMeters)
+		d, dd, okD := matcher.match(cfg.Proj.Point(dlat, dlon), cfg.MaxMatchMeters)
+		if !okO || !okD {
+			stats.SkippedUnmatched++
+			continue
+		}
+		if o == d {
+			stats.SkippedSameStop++
+			continue
+		}
+		// A trip across components (possible with KeepAllComponents imports)
+		// has no finite shortest distance: no penalty can be priced and no
+		// worker could ever serve it, so it is dropped like an unmatched row.
+		dis := dist(o, d)
+		if math.IsInf(dis, 0) || math.IsNaN(dis) {
+			stats.SkippedUnreachable++
+			continue
+		}
+		stats.WorstMatchMeters = math.Max(stats.WorstMatchMeters, math.Max(od, dd))
+		trips = append(trips, trip{o: o, d: d, release: release, dis: dis, cap: kr})
+		minRelease = math.Min(minRelease, release)
+		stats.Trips++
+		if cfg.MaxTrips > 0 && stats.Trips >= cfg.MaxTrips {
+			break
+		}
+	}
+	if len(trips) == 0 {
+		return nil, nil, fmt.Errorf("workload: no usable trips (rows=%d, parse=%d, unmatched=%d, unreachable=%d)",
+			stats.Rows, stats.SkippedParse, stats.SkippedUnmatched, stats.SkippedUnreachable)
+	}
+
+	inst := &Instance{Graph: g}
+	for i, tr := range trips {
+		req := &core.Request{
+			ID:       core.RequestID(i),
+			Origin:   tr.o,
+			Dest:     tr.d,
+			Release:  tr.release - minRelease,
+			Deadline: tr.release - minRelease + cfg.DeadlineSec,
+			Penalty:  cfg.PenaltyFactor * tr.dis,
+			Capacity: tr.cap,
+		}
+		if err := req.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("workload: trip %d: %w", i, err)
+		}
+		inst.Requests = append(inst.Requests, req)
+	}
+
+	nw := cfg.NumWorkers
+	if nw <= 0 {
+		nw = max(1, len(trips)/10)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < nw; i++ {
+		kw := int(math.Round(cfg.WorkerCapacityMean + rng.NormFloat64()))
+		if kw < 1 {
+			kw = 1
+		}
+		inst.Workers = append(inst.Workers, &core.Worker{
+			ID:       core.WorkerID(i),
+			Capacity: kw,
+			Route:    core.Route{Loc: roadnet.VertexID(rng.Intn(g.NumVertices()))},
+		})
+	}
+	return inst, stats, nil
+}

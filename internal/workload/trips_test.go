@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+)
+
+// fixtureGraph loads the DIMACS fixture shared with internal/roadnet: a 4x4
+// grid near Chengdu coordinates (vertex (r,c) has dense ID r*4+c).
+func fixtureGraph(t *testing.T) (*roadnet.Graph, geo.Projection) {
+	t.Helper()
+	open := func(name string) *os.File {
+		f, err := os.Open(filepath.Join("..", "roadnet", "testdata", name))
+		if err != nil {
+			t.Fatalf("open fixture: %v", err)
+		}
+		t.Cleanup(func() { f.Close() })
+		return f
+	}
+	g, stats, err := roadnet.LoadDIMACS(open("sample.gr"), open("sample.co"), roadnet.DefaultDIMACSOptions())
+	if err != nil {
+		t.Fatalf("LoadDIMACS: %v", err)
+	}
+	return g, stats.Proj
+}
+
+func TestReadTripCSVFixture(t *testing.T) {
+	g, proj := fixtureGraph(t)
+	oracle := shortest.NewBiDijkstra(g)
+	f, err := os.Open(filepath.Join("testdata", "trips.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	cfg := DefaultTripConfig(proj)
+	cfg.NumWorkers = 4
+	cfg.Seed = 7
+	inst, stats, err := ReadTripCSV(f, g, oracle.Dist, cfg)
+	if err != nil {
+		t.Fatalf("ReadTripCSV: %v", err)
+	}
+
+	// 13 data rows: 10 good, 1 unparseable lat, 1 beyond the match radius,
+	// 1 collapsing onto a single vertex.
+	if stats.Rows != 13 || stats.Trips != 10 {
+		t.Fatalf("stats = %+v, want 13 rows / 10 trips", stats)
+	}
+	if stats.SkippedParse != 1 || stats.SkippedUnmatched != 1 || stats.SkippedSameStop != 1 {
+		t.Fatalf("skip stats = %+v, want 1/1/1", stats)
+	}
+	if stats.WorstMatchMeters <= 0 || stats.WorstMatchMeters > cfg.MaxMatchMeters {
+		t.Fatalf("worst match %v outside (0, %v]", stats.WorstMatchMeters, cfg.MaxMatchMeters)
+	}
+	if len(inst.Workers) != 4 {
+		t.Fatalf("workers = %d, want 4", len(inst.Workers))
+	}
+
+	// Row 1 (08:00:05) runs along the bottom grid row: vertex 0 → vertex 3.
+	r0 := inst.Requests[0]
+	if r0.Origin != 0 || r0.Dest != 3 {
+		t.Errorf("request 0 matched (%d,%d), want (0,3)", r0.Origin, r0.Dest)
+	}
+	// Row 2 released at 08:00:00 is the time base: its normalized release is
+	// 0 and row 1's is 5 seconds.
+	if inst.Requests[1].Release != 0 {
+		t.Errorf("request 1 release = %v, want 0", inst.Requests[1].Release)
+	}
+	if r0.Release != 5 {
+		t.Errorf("request 0 release = %v, want 5", r0.Release)
+	}
+	for i, r := range inst.Requests {
+		if r.Deadline != r.Release+cfg.DeadlineSec {
+			t.Fatalf("request %d deadline %v, want release+%v", i, r.Deadline, cfg.DeadlineSec)
+		}
+		if r.Penalty <= 0 {
+			t.Fatalf("request %d penalty %v not positive", i, r.Penalty)
+		}
+		if r.Capacity < 1 || r.Capacity > len(NYCCapacityDist) {
+			t.Fatalf("request %d capacity %d outside [1,%d]", i, r.Capacity, len(NYCCapacityDist))
+		}
+	}
+	// Passenger clamping: row 5 declares 0 passengers, row 6 declares 9.
+	if inst.Requests[4].Capacity != 1 || inst.Requests[5].Capacity != len(NYCCapacityDist) {
+		t.Errorf("capacity clamping got %d,%d", inst.Requests[4].Capacity, inst.Requests[5].Capacity)
+	}
+
+	// The adapter's output must survive the stream round trip.
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, inst); err != nil {
+		t.Fatalf("WriteStream: %v", err)
+	}
+	back, err := ReadStream(&buf, g)
+	if err != nil {
+		t.Fatalf("ReadStream: %v", err)
+	}
+	if len(back.Requests) != len(inst.Requests) || len(back.Workers) != len(inst.Workers) {
+		t.Fatal("stream round trip lost records")
+	}
+}
+
+func TestReadTripCSVNumericTimes(t *testing.T) {
+	g, proj := fixtureGraph(t)
+	oracle := shortest.NewBiDijkstra(g)
+	csvData := "120.5,104.0001,30.6001,104.0149,30.6001,2\n" +
+		"100,104.0051,30.6044,104.0101,30.6134,1\n"
+	cfg := DefaultTripConfig(proj)
+	inst, stats, err := ReadTripCSV(strings.NewReader(csvData), g, oracle.Dist, cfg)
+	if err != nil {
+		t.Fatalf("ReadTripCSV: %v", err)
+	}
+	if stats.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", stats.Trips)
+	}
+	if inst.Requests[0].Release != 20.5 || inst.Requests[1].Release != 0 {
+		t.Fatalf("releases = %v, %v; want 20.5, 0",
+			inst.Requests[0].Release, inst.Requests[1].Release)
+	}
+	// NumWorkers unset: one worker per 10 trips, minimum 1.
+	if len(inst.Workers) != 1 {
+		t.Fatalf("workers = %d, want 1", len(inst.Workers))
+	}
+}
+
+func TestReadTripCSVMaxTrips(t *testing.T) {
+	g, proj := fixtureGraph(t)
+	oracle := shortest.NewBiDijkstra(g)
+	f, err := os.Open(filepath.Join("testdata", "trips.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg := DefaultTripConfig(proj)
+	cfg.MaxTrips = 3
+	inst, stats, err := ReadTripCSV(f, g, oracle.Dist, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Trips != 3 || len(inst.Requests) != 3 {
+		t.Fatalf("trips = %d/%d, want 3", stats.Trips, len(inst.Requests))
+	}
+}
+
+// TestReadTripCSVUnreachableTrips loads the fixture with all components
+// kept and feeds a trip whose endpoints match different components: it
+// must be skipped (a +Inf penalty would otherwise poison the stream).
+func TestReadTripCSVUnreachableTrips(t *testing.T) {
+	open := func(name string) *os.File {
+		f, err := os.Open(filepath.Join("..", "roadnet", "testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		return f
+	}
+	opts := roadnet.DefaultDIMACSOptions()
+	opts.KeepAllComponents = true
+	g, stats, err := roadnet.LoadDIMACS(open("sample.gr"), open("sample.co"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := shortest.NewBiDijkstra(g)
+	// Trip 1: inside the grid (usable). Trip 2: grid → detached pair.
+	csvData := "0,104.0001,30.6001,104.0149,30.6001,1\n" +
+		"10,104.0001,30.6001,104.050000,30.650000,1\n"
+	inst, tstats, err := ReadTripCSV(strings.NewReader(csvData), g, oracle.Dist, DefaultTripConfig(stats.Proj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tstats.Trips != 1 || tstats.SkippedUnreachable != 1 {
+		t.Fatalf("stats = %+v, want 1 trip / 1 unreachable", tstats)
+	}
+	// Everything accepted must serialize and load back.
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadStream(&buf, g); err != nil {
+		t.Fatalf("round trip of accepted trips failed: %v", err)
+	}
+}
+
+func TestReadTripCSVErrors(t *testing.T) {
+	g, proj := fixtureGraph(t)
+	oracle := shortest.NewBiDijkstra(g)
+	cases := []struct {
+		name string
+		csv  string
+		cfg  func(TripConfig) TripConfig
+	}{
+		{"empty", "", func(c TripConfig) TripConfig { return c }},
+		{"header only", "a,b,c,d,e,f\n", func(c TripConfig) TripConfig { return c }},
+		{"all unmatched", "0,50.0,10.0,51.0,11.0,1\n", func(c TripConfig) TripConfig { return c }},
+		{"missing columns config", "0,104.0,30.6,104.01,30.6,1\n", func(c TripConfig) TripConfig {
+			c.PickupLonCol = -1
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadTripCSV(strings.NewReader(tc.csv), g, oracle.Dist, tc.cfg(DefaultTripConfig(proj)))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+// TestVertexMatcherExact cross-checks the grid-based matcher against the
+// linear-scan NearestVertex on random probes.
+func TestVertexMatcherExact(t *testing.T) {
+	g, _ := fixtureGraph(t)
+	m, err := newVertexMatcher(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := g.Bounds()
+	for i := 0; i < 200; i++ {
+		p := geo.Point{
+			X: b.Min.X + b.Width()*float64(i%20)/19,
+			Y: b.Min.Y + b.Height()*float64(i/20)/9,
+		}
+		got, _, ok := m.match(p, 1e9)
+		if !ok {
+			t.Fatalf("no match for %v", p)
+		}
+		want := g.NearestVertex(p)
+		if p.DistSq(g.Point(got)) != p.DistSq(g.Point(want)) {
+			t.Fatalf("matcher returned %d (d=%v), nearest is %d (d=%v)",
+				got, p.Dist(g.Point(got)), want, p.Dist(g.Point(want)))
+		}
+	}
+}
