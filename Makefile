@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench check golden fuzz
+.PHONY: all build vet test race bench-smoke bench check golden fuzz serve-smoke
 
 all: check
 
@@ -29,11 +29,20 @@ golden:
 	$(GO) test ./internal/expt -run Golden -update
 
 # Short fuzz pass over the untrusted-input parsers (roadnet text, DIMACS,
-# workload stream, trip CSV). `go test` alone replays only the seed corpus.
+# workload stream, trip CSV, serve snapshot + request bodies). `go test`
+# alone replays only the seed corpus.
 fuzz:
 	$(GO) test -fuzz FuzzRead$$ -fuzztime 10s ./internal/roadnet
 	$(GO) test -fuzz FuzzLoadDIMACS -fuzztime 10s ./internal/roadnet
 	$(GO) test -fuzz FuzzReadStream -fuzztime 10s ./internal/workload
 	$(GO) test -fuzz FuzzReadTripCSV -fuzztime 10s ./internal/workload
+	$(GO) test -run xxx -fuzz FuzzReadSnapshot -fuzztime 10s ./internal/serve
+	$(GO) test -run xxx -fuzz FuzzRequestBody -fuzztime 10s ./internal/serve
+
+# End-to-end check of the online dispatch service: start urpsm-serve on a
+# fixture network, lockstep-replay 1500 requests (bit-identical to the
+# offline engine), graceful shutdown, snapshot warm restart.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 check: build vet test race

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/expt"
 	"repro/internal/workload"
 )
@@ -40,9 +41,13 @@ func main() {
 		algos    = flag.String("algos", strings.Join(expt.Algorithms, ","), "comma-separated algorithms")
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 		parallel = flag.Int("parallel", 0, "plan pruneGreedyDP/GreedyDP with a parallel dispatcher pool of this size (0 = serial); also the largest pool of -exp parallel")
-		oracle   = flag.String("oracle", "hub", "distance oracle: hub|ch|bidijkstra|auto (auto picks by graph size)")
+		oracle   = cliutil.OracleFlag("hub")
 	)
 	flag.Parse()
+	if err := cliutil.CheckOracle(*oracle); err != nil {
+		fmt.Fprintln(os.Stderr, "urpsm-bench:", err)
+		os.Exit(1)
+	}
 	if err := run(*exp, *dataset, *scale, *repeat, splitList(*algos), *csvDir, *parallel, *oracle); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-bench:", err)
 		os.Exit(1)

@@ -1,0 +1,297 @@
+// Command urpsm-replay streams a workload file against a running
+// urpsm-serve daemon, measuring client-observed request latency — and, in
+// -lockstep mode, proving that the served decisions are bit-identical to
+// an offline sim.Engine run of the same instance (DESIGN.md §9.3).
+//
+//	urpsm-replay -net city.net -load city.load -addr :8650 -lockstep
+//	urpsm-replay -net city.net -load city.load -addr :8650 -speedup 60
+//
+// Modes:
+//
+//   - -lockstep: requests are sent strictly sequentially in release order
+//     (each waits for its decision), which pins the server's processing
+//     order to the offline engine's; afterwards every accept/reject
+//     decision, worker assignment and Δ* is compared bit-for-bit against
+//     the offline reference. Exit status 1 on any mismatch.
+//
+//   - -speedup S: requests are fired concurrently on the workload's own
+//     release schedule compressed by S (e.g. 60 = an hour of trace per
+//     minute), exercising the batching window under load. S = 0 streams
+//     as fast as the server admits. No equivalence claim is made —
+//     concurrent delivery may reorder arrivals (see DESIGN.md §9.3).
+//
+// Both modes report accepted/rejected counts and p50/p95/p99 latency.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		netFile  = flag.String("net", "", "road-network file (required)")
+		loadFile = flag.String("load", "", "workload file with the requests to replay (required)")
+		addr     = flag.String("addr", "127.0.0.1:8650", "server address (host:port or URL)")
+		oracle   = cliutil.OracleFlag("auto")
+		speedup  = flag.Float64("speedup", 0, "replay speed: 0 = as fast as possible, S = trace time compressed by S")
+		lockstep = flag.Bool("lockstep", false, "sequential replay + bit-identical comparison against an offline sim.Engine run")
+		n        = flag.Int("n", 0, "replay only the first n requests (0 = all)")
+		parallel = flag.Int("parallel", 0, "pool size of the offline reference planner (must match the server's -parallel; ≤1 = serial)")
+		alpha    = flag.Float64("alpha", 1, "unified-cost weight α of the offline reference (must match the server)")
+		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	)
+	flag.Parse()
+	if err := run(*netFile, *loadFile, *addr, *oracle, *speedup, *n, *parallel,
+		*alpha, *wait, *timeout, *lockstep); err != nil {
+		fmt.Fprintln(os.Stderr, "urpsm-replay:", err)
+		os.Exit(1)
+	}
+}
+
+// outcome pairs a decision with its client-observed latency.
+type outcome struct {
+	d       serve.Decision
+	rttMs   float64
+	httpErr error
+}
+
+func run(netFile, loadFile, addr, oracleKind string, speedup float64, n, parallel int,
+	alpha float64, wait, timeout time.Duration, lockstep bool) error {
+	if netFile == "" || loadFile == "" {
+		return fmt.Errorf("-net and -load are required")
+	}
+	if err := cliutil.CheckOracle(oracleKind); err != nil {
+		return err
+	}
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+
+	nf, err := os.Open(netFile)
+	if err != nil {
+		return err
+	}
+	g, err := roadnet.Read(nf)
+	nf.Close()
+	if err != nil {
+		return err
+	}
+	lf, err := os.Open(loadFile)
+	if err != nil {
+		return err
+	}
+	inst, err := workload.ReadStream(lf, g)
+	lf.Close()
+	if err != nil {
+		return err
+	}
+
+	// Replay in the engine's processing order: stable by release. With a
+	// -n cap the offline reference sees the same truncated instance.
+	reqs := append([]*core.Request(nil), inst.Requests...)
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Release < reqs[j].Release })
+	if n > 0 && n < len(reqs) {
+		reqs = reqs[:n]
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("no requests to replay")
+	}
+
+	client := &http.Client{Timeout: timeout}
+	if err := waitReady(client, base, wait); err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d requests from %s to %s (mode: %s)\n",
+		len(reqs), loadFile, base, mode(lockstep, speedup))
+
+	start := time.Now()
+	var outcomes []outcome
+	if lockstep {
+		outcomes, err = replaySequential(client, base, reqs)
+	} else {
+		outcomes, err = replayPaced(client, base, reqs, speedup)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	accepted, rejected, failed := 0, 0, 0
+	var lat []float64
+	for _, o := range outcomes {
+		if o.httpErr != nil {
+			failed++
+			continue
+		}
+		lat = append(lat, o.rttMs)
+		if o.d.Accepted {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	fmt.Printf("done in %.2fs: %d accepted, %d rejected, %d failed (%.0f req/s)\n",
+		elapsed.Seconds(), accepted, rejected, failed,
+		float64(len(outcomes))/elapsed.Seconds())
+	fmt.Printf("latency ms: p50=%.3f p95=%.3f p99=%.3f\n",
+		sim.Percentile(lat, 0.50), sim.Percentile(lat, 0.95), sim.Percentile(lat, 0.99))
+	if failed > 0 {
+		return fmt.Errorf("%d requests failed", failed)
+	}
+
+	if !lockstep {
+		return nil
+	}
+	oracle, resolved, err := cliutil.BuildOracle(oracleKind, g)
+	if err != nil {
+		return err
+	}
+	offInst := &workload.Instance{Graph: g, Workers: inst.Workers, Requests: reqs}
+	want, _, err := serve.OfflineDecisions(g, offInst, oracle, resolved, alpha, parallel)
+	if err != nil {
+		return err
+	}
+	mismatches := 0
+	for _, o := range outcomes {
+		w, ok := want[o.d.ID]
+		if !ok {
+			mismatches++
+			if mismatches <= 5 {
+				fmt.Fprintf(os.Stderr, "request %d: no offline decision\n", o.d.ID)
+			}
+			continue
+		}
+		if o.d.Accepted != w.Accepted || o.d.Worker != w.Worker || o.d.Delta != w.Delta {
+			mismatches++
+			if mismatches <= 5 {
+				fmt.Fprintf(os.Stderr,
+					"request %d: served (accepted=%v worker=%d delta=%v) != offline (accepted=%v worker=%d delta=%v)\n",
+					o.d.ID, o.d.Accepted, o.d.Worker, o.d.Delta, w.Accepted, w.Worker, w.Delta)
+			}
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("lockstep FAILED: %d/%d decisions differ from the offline engine", mismatches, len(outcomes))
+	}
+	fmt.Printf("lockstep OK: %d decisions bit-identical to the offline engine (oracle=%s)\n",
+		len(outcomes), resolved)
+	return nil
+}
+
+func mode(lockstep bool, speedup float64) string {
+	if lockstep {
+		return "lockstep"
+	}
+	if speedup > 0 {
+		return fmt.Sprintf("paced, speedup %gx", speedup)
+	}
+	return "paced, full speed"
+}
+
+// waitReady polls /v1/stats until the server answers.
+func waitReady(client *http.Client, base string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/v1/stats")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s", base, wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// send posts one request and decodes its decision.
+func send(client *http.Client, base string, r *core.Request) outcome {
+	id := int32(r.ID)
+	rel := r.Release
+	body, _ := json.Marshal(serve.Request{
+		ID: &id, Origin: int64(r.Origin), Dest: int64(r.Dest),
+		Release: &rel, Deadline: r.Deadline, Penalty: r.Penalty, Capacity: r.Capacity,
+	})
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/requests", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{httpErr: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return outcome{httpErr: fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))}
+	}
+	var d serve.Decision
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return outcome{httpErr: err}
+	}
+	return outcome{d: d, rttMs: float64(time.Since(start).Nanoseconds()) / 1e6}
+}
+
+// replaySequential sends each request only after the previous decision
+// arrived, pinning the server's processing order for -lockstep.
+func replaySequential(client *http.Client, base string, reqs []*core.Request) ([]outcome, error) {
+	outcomes := make([]outcome, 0, len(reqs))
+	for _, r := range reqs {
+		o := send(client, base, r)
+		if o.httpErr != nil {
+			// Sequential replay aborts on the first failure: every later
+			// decision would diverge from the offline reference anyway.
+			return nil, fmt.Errorf("request %d: %w", r.ID, o.httpErr)
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}
+
+// replayPaced fires requests on the trace's release schedule compressed
+// by speedup (0 = no pacing), each from its own goroutine.
+func replayPaced(client *http.Client, base string, reqs []*core.Request, speedup float64) ([]outcome, error) {
+	outcomes := make([]outcome, len(reqs))
+	sem := make(chan struct{}, 256) // bound in-flight requests
+	var wg sync.WaitGroup
+	start := time.Now()
+	t0 := reqs[0].Release
+	for i, r := range reqs {
+		if speedup > 0 {
+			due := start.Add(time.Duration((r.Release - t0) / speedup * float64(time.Second)))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, r *core.Request) {
+			defer wg.Done()
+			outcomes[i] = send(client, base, r)
+			<-sem
+		}(i, r)
+	}
+	wg.Wait()
+	return outcomes, nil
+}
+

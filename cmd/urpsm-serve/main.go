@@ -1,0 +1,180 @@
+// Command urpsm-serve is the online dispatch daemon: it loads a road
+// network and an initial fleet, then serves URPSM requests over HTTP with
+// batched admission (see internal/serve and DESIGN.md §9).
+//
+//	urpsm-serve -net city.net -load city.load -oracle auto -addr :8650
+//	urpsm-serve -net city.net -load city.load -batch-window 10ms -parallel 8
+//	urpsm-serve -net city.net -load city.load -snapshot state.json
+//
+// The -load file supplies the fleet (its workers); its requests, if any,
+// are ignored — live requests arrive via POST /v1/requests. With
+// -snapshot the daemon warm-starts from the file when it exists and
+// writes the final state back on graceful shutdown (SIGINT/SIGTERM), so a
+// restart resumes exactly where the previous run stopped.
+//
+// API: POST /v1/requests, GET /v1/workers/{id}/route, GET /v1/stats,
+// GET /v1/snapshot, GET /metrics (Prometheus text). See FORMATS.md §5.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/roadnet"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		netFile     = flag.String("net", "", "road-network file (urpsm-roadnet format, required)")
+		loadFile    = flag.String("load", "", "workload file supplying the initial fleet (urpsm-workload format, required)")
+		oracle      = cliutil.OracleFlag("auto")
+		addr        = flag.String("addr", ":8650", "HTTP listen address")
+		batchWindow = flag.Duration("batch-window", serve.DefaultBatchWindow, "max time a request waits for its admission batch")
+		batchSize   = flag.Int("batch-size", serve.DefaultBatchSize, "flush an admission batch early at this many requests")
+		parallel    = flag.Int("parallel", 0, "plan with a parallel dispatcher pool of this size (≤1 = serial)")
+		gridKm      = flag.Float64("grid", 2, "grid cell size g in km")
+		alpha       = flag.Float64("alpha", 1, "unified-cost weight α")
+		snapshot    = flag.String("snapshot", "", "state file: restored at startup when present, written on graceful shutdown")
+	)
+	flag.Parse()
+	if err := run(*netFile, *loadFile, *oracle, *addr, *batchWindow, *batchSize,
+		*parallel, *gridKm, *alpha, *snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, "urpsm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
+	batchSize, parallel int, gridKm, alpha float64, snapshotFile string) error {
+	if netFile == "" || loadFile == "" {
+		return fmt.Errorf("-net and -load are required")
+	}
+	if err := cliutil.CheckOracle(oracleKind); err != nil {
+		return err
+	}
+	nf, err := os.Open(netFile)
+	if err != nil {
+		return err
+	}
+	g, err := roadnet.Read(nf)
+	nf.Close()
+	if err != nil {
+		return err
+	}
+	lf, err := os.Open(loadFile)
+	if err != nil {
+		return err
+	}
+	inst, err := workload.ReadStream(lf, g)
+	lf.Close()
+	if err != nil {
+		return err
+	}
+
+	oracle, resolved, err := cliutil.BuildOracle(oracleKind, g)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Graph:       g,
+		Workers:     inst.Workers,
+		Oracle:      oracle,
+		OracleKind:  resolved,
+		Alpha:       alpha,
+		CellMeters:  gridKm * 1000,
+		BatchWindow: batchWindow,
+		BatchSize:   batchSize,
+		Pool:        parallel,
+	}
+	if snapshotFile != "" {
+		if sf, err := os.Open(snapshotFile); err == nil {
+			sn, rerr := serve.ReadSnapshot(sf)
+			sf.Close()
+			if rerr != nil {
+				return fmt.Errorf("restore %s: %w", snapshotFile, rerr)
+			}
+			cfg.Snapshot = sn
+			fmt.Printf("restored snapshot %s: sim_time=%.1fs decided=%d workers=%d\n",
+				snapshotFile, sn.SimTime, sn.Accepted+sn.Rejected, len(sn.Workers))
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	fmt.Printf("urpsm-serve on %s: net=%s |V|=%d |E|=%d workers=%d oracle=%s algo=%s batch-window=%s batch-size=%d\n",
+		addr, netFile, g.NumVertices(), g.NumEdges(), len(inst.Workers),
+		resolved, srv.Planner(), batchWindow, batchSize)
+
+	errC := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errC <- err
+		}
+	}()
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errC:
+		return err
+	case sig := <-sigC:
+		fmt.Printf("received %s: draining\n", sig)
+	}
+
+	// Drain first (new submissions get 503, admitted ones are decided),
+	// then let in-flight HTTP responses finish, then persist.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if snapshotFile != "" {
+		if err := writeSnapshotFile(snapshotFile, srv); err != nil {
+			return err
+		}
+		fmt.Printf("wrote snapshot %s\n", snapshotFile)
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d requests (%d accepted, %d rejected) over %d batches; unified cost %.0f\n",
+		st.Requests, st.Accepted, st.Rejected, st.Batches, st.UnifiedCost)
+	return nil
+}
+
+// writeSnapshotFile persists the final state atomically (temp + rename),
+// so a crash mid-write cannot corrupt the previous snapshot.
+func writeSnapshotFile(path string, srv *serve.Server) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := serve.WriteSnapshot(f, srv.TakeSnapshot()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/expt"
 	"repro/internal/roadnet"
 	"repro/internal/workload"
@@ -41,11 +42,13 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "repetitions to average (presets only)")
 		netFile  = flag.String("net", "", "run on this road-network file instead of a preset (urpsm-roadnet format)")
 		loadFile = flag.String("load", "", "workload stream for -net (urpsm-workload format)")
-		oracle   = flag.String("oracle", "", "distance oracle: hub|ch|bidijkstra|auto (default: hub for presets, auto for -net)")
+		oracle   = cliutil.OracleFlag("") // default: hub for presets, auto for -net
 	)
 	flag.Parse()
-	var err error
-	if *netFile != "" || *loadFile != "" {
+	err := cliutil.CheckOracle(*oracle)
+	switch {
+	case err != nil:
+	case *netFile != "" || *loadFile != "":
 		// Imported workloads are fully materialized: the preset knobs have
 		// nothing to act on, so silently ignoring them would mislead.
 		presetOnly := map[string]bool{
@@ -62,7 +65,7 @@ func main() {
 		if err == nil {
 			err = runFiles(*netFile, *loadFile, *algo, *oracle, *gridKm)
 		}
-	} else {
+	default:
 		err = run(*dataset, *algo, *oracle, *scale, *workers, *requests, *deadline,
 			*penalty, *capacity, *gridKm, *seed, *repeat)
 	}

@@ -1,0 +1,68 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// commands. Today that is the -oracle flag: urpsm-sim, urpsm-bench,
+// urpsm-serve and urpsm-replay all select a distance oracle the same way,
+// and each used to carry its own copy of the registration, usage text and
+// validation.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+)
+
+// OracleKinds are the accepted -oracle values. "auto" resolves to one of
+// the other tiers by vertex count through shortest.Auto's budget
+// (DESIGN.md §8.3).
+var OracleKinds = []string{"hub", "ch", "bidijkstra", "auto"}
+
+// OracleUsage is the shared -oracle usage text.
+const OracleUsage = "distance oracle: hub|ch|bidijkstra|auto (auto picks by graph size)"
+
+// OracleFlag registers the standard -oracle flag with the given default
+// (commands that pick their default later pass "").
+func OracleFlag(def string) *string {
+	return flag.String("oracle", def, OracleUsage)
+}
+
+// CheckOracle validates an -oracle value at parse time, before any
+// expensive work starts. The empty string is accepted: commands use it to
+// mean "default chosen later" (hub for presets, auto for imports).
+func CheckOracle(kind string) error {
+	if kind == "" {
+		return nil
+	}
+	for _, k := range OracleKinds {
+		if kind == k {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown oracle %q (valid: %s)", kind, strings.Join(OracleKinds, "|"))
+}
+
+// BuildOracle constructs the named oracle over g and returns it with the
+// resolved kind: "" defaults to "auto", and "auto" comes back as the tier
+// the default budget selected for the graph's size. The commands that
+// build their own engine (urpsm-serve, urpsm-replay) use it; the
+// experiment Runner keeps its own lazily-cached construction.
+func BuildOracle(kind string, g *roadnet.Graph) (shortest.Oracle, string, error) {
+	if err := CheckOracle(kind); err != nil {
+		return nil, "", err
+	}
+	resolved := kind
+	if resolved == "" || resolved == "auto" {
+		resolved = string(shortest.DefaultAutoBudget().Choose(g.NumVertices()))
+	}
+	switch resolved {
+	case "hub":
+		return shortest.BuildHubLabels(g), resolved, nil
+	case "ch":
+		return shortest.BuildCH(g), resolved, nil
+	case "bidijkstra":
+		return shortest.NewBiDijkstra(g), resolved, nil
+	}
+	return nil, "", fmt.Errorf("unknown oracle %q (valid: %s)", kind, strings.Join(OracleKinds, "|"))
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/baseline"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/roadnet"
@@ -33,9 +34,10 @@ var AblationAlgorithms = []string{
 }
 
 // OracleKinds are the accepted values of Runner.OracleKind (and of the
-// CLIs' -oracle flag). "auto" resolves to one of the other tiers by vertex
+// CLIs' -oracle flag, whose registration and validation live in
+// internal/cliutil). "auto" resolves to one of the other tiers by vertex
 // count through shortest.Auto.
-var OracleKinds = []string{"hub", "ch", "bidijkstra", "auto"}
+var OracleKinds = cliutil.OracleKinds
 
 // Runner executes simulations over one dataset, sharing the expensive
 // pieces (road network, preprocessed distance oracles) across all runs.

@@ -124,3 +124,12 @@ func ProjectLatLon(lat, lon, lat0, lon0 float64) Point {
 	y := (lat - lat0) * deg * earthRadiusMeters
 	return Point{X: x, Y: y}
 }
+
+// InverseLatLon inverts ProjectLatLon for the same projection center,
+// recovering the (lat, lon) degrees a planar point came from.
+func InverseLatLon(p Point, lat0, lon0 float64) (lat, lon float64) {
+	const deg = math.Pi / 180
+	lat = lat0 + p.Y/(deg*earthRadiusMeters)
+	lon = lon0 + p.X/(deg*earthRadiusMeters*math.Cos(lat0*deg))
+	return lat, lon
+}

@@ -35,3 +35,16 @@ func (p Projection) Point(lat, lon float64) Point {
 	}
 	return ProjectLatLon(lat, lon, p.Lat0, p.Lon0)
 }
+
+// LatLon inverts Point, mapping a planar point back to the source frame:
+// (latitude, longitude) degrees in geographic mode, (y, x) meters in
+// planar mode. The equirectangular projection is linear, so the inverse
+// is exact up to float rounding — except within a whisker of the poles,
+// where the cos(lat0) scale factor degenerates (no road network lives
+// there).
+func (p Projection) LatLon(pt Point) (lat, lon float64) {
+	if p.Planar {
+		return pt.Y, pt.X
+	}
+	return InverseLatLon(pt, p.Lat0, p.Lon0)
+}

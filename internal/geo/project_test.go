@@ -1,0 +1,90 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestProjectionRoundTrip checks forward→inverse round trips at city
+// scale: the equirectangular projection is linear, so recovered
+// coordinates must match to well under a micrometer's worth of degrees.
+func TestProjectionRoundTrip(t *testing.T) {
+	centers := []struct{ lat0, lon0 float64 }{
+		{30.66, 104.06},  // Chengdu
+		{40.73, -73.94},  // NYC
+		{-33.87, 151.21}, // Sydney (southern hemisphere)
+		{64.15, -21.94},  // Reykjavik (high latitude)
+		{0, 0},           // equator/prime meridian
+	}
+	rng := rand.New(rand.NewSource(42))
+	const degTol = 1e-9 // ~0.1 mm of latitude
+	for _, c := range centers {
+		p := NewProjection(c.lat0, c.lon0)
+		for i := 0; i < 200; i++ {
+			// Points within ~±0.3° of the center, a metro-area extent.
+			lat := c.lat0 + (rng.Float64()-0.5)*0.6
+			lon := c.lon0 + (rng.Float64()-0.5)*0.6
+			pt := p.Point(lat, lon)
+			gotLat, gotLon := p.LatLon(pt)
+			if math.Abs(gotLat-lat) > degTol || math.Abs(gotLon-lon) > degTol {
+				t.Fatalf("center (%v,%v): round trip (%v,%v) -> (%v,%v), error (%g,%g) deg",
+					c.lat0, c.lon0, lat, lon, gotLat, gotLon,
+					gotLat-lat, gotLon-lon)
+			}
+		}
+	}
+}
+
+// TestProjectionForwardError bounds the projection's metric distortion
+// against the haversine ground truth: under 1% at city scale (≤ ~40 km),
+// which is the accuracy contract the import pipeline relies on for its
+// Euclidean lower bounds.
+func TestProjectionForwardError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []struct{ lat0, lon0 float64 }{
+		{30.66, 104.06}, {40.73, -73.94}, {-33.87, 151.21},
+	} {
+		p := NewProjection(c.lat0, c.lon0)
+		for i := 0; i < 500; i++ {
+			lat1 := c.lat0 + (rng.Float64()-0.5)*0.3
+			lon1 := c.lon0 + (rng.Float64()-0.5)*0.3
+			lat2 := c.lat0 + (rng.Float64()-0.5)*0.3
+			lon2 := c.lon0 + (rng.Float64()-0.5)*0.3
+			planar := p.Point(lat1, lon1).Dist(p.Point(lat2, lon2))
+			truth := Haversine(lat1, lon1, lat2, lon2)
+			if truth < 100 {
+				continue // relative error is meaningless at sub-block range
+			}
+			if rel := math.Abs(planar-truth) / truth; rel > 0.01 {
+				t.Fatalf("center (%v,%v): distance (%v,%v)-(%v,%v): planar %.1fm vs haversine %.1fm (%.3f%% error)",
+					c.lat0, c.lon0, lat1, lon1, lat2, lon2, planar, truth, 100*rel)
+			}
+		}
+	}
+}
+
+// TestPlanarProjectionPassthrough checks the identity mode both ways.
+func TestPlanarProjectionPassthrough(t *testing.T) {
+	p := PlanarProjection()
+	pt := p.Point(1234.5, -678.25) // (y, x) argument order
+	if pt.X != -678.25 || pt.Y != 1234.5 {
+		t.Fatalf("planar forward changed values: %+v", pt)
+	}
+	y, x := p.LatLon(pt)
+	if y != 1234.5 || x != -678.25 {
+		t.Fatalf("planar inverse changed values: (%v,%v)", y, x)
+	}
+}
+
+// TestInverseLatLonMatchesMethod pins the free function and the method to
+// each other.
+func TestInverseLatLonMatchesMethod(t *testing.T) {
+	p := NewProjection(30.66, 104.06)
+	pt := p.Point(30.7, 104.1)
+	mLat, mLon := p.LatLon(pt)
+	fLat, fLon := InverseLatLon(pt, 30.66, 104.06)
+	if mLat != fLat || mLon != fLon {
+		t.Fatalf("method (%v,%v) != function (%v,%v)", mLat, mLon, fLat, fLon)
+	}
+}

@@ -1,0 +1,277 @@
+package serve
+
+// The /v1 wire types and HTTP handlers. Field sets and names are part of
+// the persisted format contract documented in FORMATS.md §5; the golden
+// fixtures under testdata/ pin them.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+// maxBodyBytes bounds a /v1/requests body; a request is a handful of
+// scalars, so anything near this limit is garbage.
+const maxBodyBytes = 1 << 20
+
+var errDraining = errors.New("serve: shutting down, not accepting requests")
+
+// Request is the body of POST /v1/requests: Definition 3 on the wire.
+type Request struct {
+	// ID is the client's request identifier, echoed in the decision. When
+	// omitted the server assigns the next free one.
+	ID *int32 `json:"id,omitempty"`
+	// Origin and Dest are road-network vertex IDs.
+	Origin int64 `json:"origin"`
+	Dest   int64 `json:"dest"`
+	// Release is the request's event time t_r in simulation seconds; when
+	// omitted it defaults to the server's current event clock.
+	Release *float64 `json:"release,omitempty"`
+	// Deadline is the latest drop-off time e_r (absolute sim seconds).
+	Deadline float64 `json:"deadline"`
+	// Penalty is the rejection penalty p_r.
+	Penalty float64 `json:"penalty"`
+	// Capacity is the seat/item demand K_r; 0 means 1.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// Decision is the response of POST /v1/requests.
+type Decision struct {
+	ID       int32 `json:"id"`
+	Accepted bool  `json:"accepted"`
+	// Worker is the assigned worker ID, -1 when rejected.
+	Worker int32 `json:"worker"`
+	// Delta is Δ*: the travel-time increase of serving the request.
+	Delta float64 `json:"delta"`
+	// PickupETA and DropoffETA are planned arrival times (absolute sim
+	// seconds) at the request's stops, set when accepted.
+	PickupETA  float64 `json:"pickup_eta,omitempty"`
+	DropoffETA float64 `json:"dropoff_eta,omitempty"`
+	// SimTime is the event-clock time the decision was made at.
+	SimTime float64 `json:"sim_time"`
+	// Batch is the 1-based admission batch that carried the request.
+	Batch int `json:"batch,omitempty"`
+	// WaitMs is the server-side admission-to-decision latency.
+	WaitMs float64 `json:"wait_ms,omitempty"`
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	Algorithm      string    `json:"algorithm"`
+	Oracle         string    `json:"oracle"`
+	Workers        int       `json:"workers"`
+	SimTime        float64   `json:"sim_time"`
+	Requests       int       `json:"requests"`
+	Accepted       int       `json:"accepted"`
+	Rejected       int       `json:"rejected"`
+	ServedRate     float64   `json:"served_rate"`
+	TotalDistance  float64   `json:"total_distance"`
+	PenaltySum     float64   `json:"penalty_sum"`
+	UnifiedCost    float64   `json:"unified_cost"`
+	Completions    int       `json:"completions"`
+	LateArrivals   int       `json:"late_arrivals"`
+	Batches        int       `json:"batches"`
+	MaxBatch       int       `json:"max_batch"`
+	LateAdmissions int       `json:"late_admissions"`
+	Pending        int       `json:"pending"`
+	DistQueries    uint64    `json:"dist_queries"`
+	LatencyMs      LatencyMs `json:"latency_ms"`
+}
+
+// LatencyMs carries admission-to-decision latency percentiles over the
+// most recent requests.
+type LatencyMs struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// apiError is every non-200 body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// CoreRequest validates the wire request against the graph and converts
+// it, filling defaults (capacity 1; release = now when omitted).
+func (r *Request) CoreRequest(g *roadnet.Graph, id int32, now float64) (*core.Request, error) {
+	nv := int64(g.NumVertices())
+	if r.Origin < 0 || r.Origin >= nv {
+		return nil, fmt.Errorf("origin %d out of range [0,%d)", r.Origin, nv)
+	}
+	if r.Dest < 0 || r.Dest >= nv {
+		return nil, fmt.Errorf("dest %d out of range [0,%d)", r.Dest, nv)
+	}
+	release := now
+	if r.Release != nil {
+		release = *r.Release
+	}
+	cap := r.Capacity
+	if cap == 0 {
+		cap = 1
+	}
+	if !finiteAll(release, r.Deadline, r.Penalty) {
+		return nil, fmt.Errorf("non-finite time or penalty")
+	}
+	if r.ID != nil {
+		if *r.ID < 0 {
+			return nil, fmt.Errorf("negative request id %d", *r.ID)
+		}
+		id = *r.ID
+	}
+	req := &core.Request{
+		ID:       core.RequestID(id),
+		Origin:   roadnet.VertexID(r.Origin),
+		Dest:     roadnet.VertexID(r.Dest),
+		Release:  release,
+		Deadline: r.Deadline,
+		Penalty:  r.Penalty,
+		Capacity: cap,
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func finiteAll(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Handler returns the /v1 + /metrics HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/requests", s.handleRequest)
+	mux.HandleFunc("GET /v1/workers/{id}/route", s.handleWorkerRoute)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
+	var body Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad json: " + err.Error()})
+		return
+	}
+	if body.ID != nil && *body.ID < 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("negative request id %d", *body.ID)})
+		return
+	}
+	id := s.reserveID(body.ID)
+	now := s.eventTime()
+	req, err := body.CoreRequest(s.cfg.Graph, id, now)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	done, err := s.submit(req, body.Release == nil)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	}
+	select {
+	case d := <-done:
+		writeJSON(w, http.StatusOK, d)
+	case <-r.Context().Done():
+		// The client went away; the request is already admitted and will
+		// be decided with its batch — only the response is dropped.
+	}
+}
+
+// eventTime reads the current event clock lock-free (the admission path
+// must not wait on a flushing batch).
+func (s *Server) eventTime() float64 {
+	return math.Float64frombits(s.simTimeBits.Load())
+}
+
+func (s *Server) handleWorkerRoute(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad worker id"})
+		return
+	}
+	ws, ok := s.WorkerRoute(core.WorkerID(id))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no worker %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, ws)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.TakeSnapshot())
+}
+
+// handleMetrics renders the stats in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP urpsm_requests_total Requests decided, by outcome.\n")
+	p("# TYPE urpsm_requests_total counter\n")
+	p("urpsm_requests_total{outcome=\"accepted\"} %d\n", st.Accepted)
+	p("urpsm_requests_total{outcome=\"rejected\"} %d\n", st.Rejected)
+	p("# HELP urpsm_pending_requests Requests admitted but not yet decided.\n")
+	p("# TYPE urpsm_pending_requests gauge\n")
+	p("urpsm_pending_requests %d\n", st.Pending)
+	p("# HELP urpsm_batches_total Admission batches flushed.\n")
+	p("# TYPE urpsm_batches_total counter\n")
+	p("urpsm_batches_total %d\n", st.Batches)
+	p("# HELP urpsm_batch_size_max Largest batch flushed so far.\n")
+	p("# TYPE urpsm_batch_size_max gauge\n")
+	p("urpsm_batch_size_max %d\n", st.MaxBatch)
+	p("# HELP urpsm_late_admissions_total Requests admitted after the event clock passed their release.\n")
+	p("# TYPE urpsm_late_admissions_total counter\n")
+	p("urpsm_late_admissions_total %d\n", st.LateAdmissions)
+	p("# HELP urpsm_sim_time_seconds Event-clock time.\n")
+	p("# TYPE urpsm_sim_time_seconds gauge\n")
+	p("urpsm_sim_time_seconds %g\n", st.SimTime)
+	p("# HELP urpsm_total_distance_seconds Fleet travel time, completed plus planned.\n")
+	p("# TYPE urpsm_total_distance_seconds gauge\n")
+	p("urpsm_total_distance_seconds %g\n", st.TotalDistance)
+	p("# HELP urpsm_unified_cost Unified cost alpha*distance + penalties.\n")
+	p("# TYPE urpsm_unified_cost gauge\n")
+	p("urpsm_unified_cost %g\n", st.UnifiedCost)
+	p("# HELP urpsm_completions_total Drop-offs completed.\n")
+	p("# TYPE urpsm_completions_total counter\n")
+	p("urpsm_completions_total %d\n", st.Completions)
+	p("# HELP urpsm_late_arrivals_total Drop-offs after their deadline (must stay 0).\n")
+	p("# TYPE urpsm_late_arrivals_total counter\n")
+	p("urpsm_late_arrivals_total %d\n", st.LateArrivals)
+	p("# HELP urpsm_dist_queries_total Shortest-distance oracle queries.\n")
+	p("# TYPE urpsm_dist_queries_total counter\n")
+	p("urpsm_dist_queries_total %d\n", st.DistQueries)
+	p("# HELP urpsm_workers Fleet size.\n")
+	p("# TYPE urpsm_workers gauge\n")
+	p("urpsm_workers %d\n", st.Workers)
+	p("# HELP urpsm_request_latency_milliseconds Admission-to-decision latency over recent requests.\n")
+	p("# TYPE urpsm_request_latency_milliseconds summary\n")
+	p("urpsm_request_latency_milliseconds{quantile=\"0.5\"} %g\n", st.LatencyMs.P50)
+	p("urpsm_request_latency_milliseconds{quantile=\"0.95\"} %g\n", st.LatencyMs.P95)
+	p("urpsm_request_latency_milliseconds{quantile=\"0.99\"} %g\n", st.LatencyMs.P99)
+}

@@ -1,0 +1,598 @@
+// Package serve is the online dispatch service: a long-running wrapper
+// around the planner/oracle/fleet stack that accepts URPSM requests over
+// HTTP, admits them through a batching window, and plans them with the
+// exact same code path as the offline simulator.
+//
+// # Architecture
+//
+// The server owns the live platform state — a core.Fleet, a sim.World
+// (the advance/commit state machine shared with sim.Engine) and a greedy
+// planner (serial core.Greedy or the parallel dispatcher). All mutation
+// happens on one event-loop goroutine: HTTP handlers only enqueue pending
+// requests and wait for their decision, so the planner never observes a
+// half-advanced world.
+//
+// Admission is batched: a request waits at most Config.BatchWindow from
+// the moment it is enqueued, and a batch is flushed early when it reaches
+// Config.BatchSize. Within a batch, requests are processed in
+// (release, arrival-sequence) order — the same order sim.Engine's stable
+// sort produces — and the world is advanced to each request's release
+// before planning it. Batching is purely an admission mechanism: it
+// amortizes loop wakeups and lets the parallel dispatcher see deeper
+// queues, but it never changes an individual decision.
+//
+// # Replay equivalence
+//
+// Because the server drives the same World, the same planner and the same
+// distance oracle as the offline engine, a stream of requests delivered in
+// release order produces bit-identical accept/reject decisions, worker
+// assignments and Δ* values to sim.Engine.Run over the same instance.
+// OfflineDecisions computes the reference side; cmd/urpsm-replay's
+// -lockstep mode checks the equivalence over a live server. Out-of-order
+// arrivals (a request released before the event clock already advanced
+// past) are still admitted — planned at the current clock — but counted
+// as late admissions, since they are exactly the cases where equivalence
+// with an offline run can no longer be promised. See DESIGN.md §9.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Graph is the road network requests reference by vertex ID.
+	Graph *roadnet.Graph
+	// Workers is the initial fleet; the server operates on a private deep
+	// copy. Ignored when Snapshot is set.
+	Workers []*core.Worker
+	// Snapshot, when non-nil, warm-starts the server from a saved state
+	// (fleet routes mid-flight, counters, event clock) instead of Workers.
+	Snapshot *Snapshot
+	// Oracle is the base distance oracle (see cliutil.BuildOracle); the
+	// server wraps it in the same cache/counter chain the experiment
+	// harness uses. OracleKind names it in /v1/stats.
+	Oracle     shortest.Oracle
+	OracleKind string
+	// Alpha is the unified-cost weight α; 0 means 1.
+	Alpha float64
+	// CellMeters is the spatial-grid cell size; 0 means 2000.
+	CellMeters float64
+	// BatchWindow bounds how long an admitted request may wait for its
+	// batch; 0 means DefaultBatchWindow.
+	BatchWindow time.Duration
+	// BatchSize flushes a batch early once this many requests are
+	// pending; 0 means DefaultBatchSize.
+	BatchSize int
+	// Pool > 1 plans with the parallel dispatcher (bit-identical
+	// decisions, see internal/dispatch) using that many goroutines.
+	Pool int
+}
+
+// DefaultBatchWindow is the default admission-window bound.
+const DefaultBatchWindow = 20 * time.Millisecond
+
+// DefaultBatchSize is the default early-flush batch size.
+const DefaultBatchSize = 64
+
+// pending is one enqueued request waiting for its batch.
+type pending struct {
+	req *core.Request
+	seq int64 // admission sequence, tie-break for equal releases
+	// defRel marks a request whose body omitted release: it means "now",
+	// resolved against the event clock at flush time — resolving at
+	// admission would spuriously count the clock's in-between progress as
+	// a late admission.
+	defRel bool
+	enq    time.Time
+	done   chan Decision
+}
+
+// Server is the online dispatch service. Create with NewServer, expose
+// with Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	alpha   float64
+	window  time.Duration
+	maxSize int
+
+	fleet   *core.Fleet
+	planner core.Planner
+	world   *sim.World
+	queries shortest.QueryCounter
+
+	// qmu guards the admission queue (and the ID counter, so the POST
+	// path never waits on planning); smu guards platform state and
+	// decision counters. flush holds smu for a whole batch, so reads
+	// (stats, routes, snapshots) see batch-atomic state. The two are
+	// never nested.
+	qmu      sync.Mutex
+	pending  []*pending
+	seq      int64
+	nextID   int32
+	draining bool
+
+	smu     sync.Mutex
+	simTime float64
+	// simTimeBits mirrors simTime (float64 bits) for lock-free reads on
+	// the admission path; flush is the only writer.
+	simTimeBits atomic.Uint64
+	accepted    int
+	rejected       int
+	penaltySum     float64
+	batches        int
+	maxBatch       int
+	lateAdmissions int
+	latency        *latencyRing
+
+	wakeC chan struct{}
+	stopC chan struct{}
+	doneC chan struct{}
+}
+
+// NewServer builds the fleet, planner and world and starts the event
+// loop. The caller's workers are deep-copied, so the same instance can
+// also feed an offline reference run.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("serve: nil graph")
+	}
+	if cfg.Oracle == nil {
+		return nil, fmt.Errorf("serve: nil oracle")
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	if cfg.CellMeters == 0 {
+		cfg.CellMeters = 2000
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = DefaultBatchWindow
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+
+	var workers []*core.Worker
+	if cfg.Snapshot != nil {
+		ws, err := cfg.Snapshot.Restore(cfg.Graph.NumVertices())
+		if err != nil {
+			return nil, fmt.Errorf("serve: snapshot: %w", err)
+		}
+		workers = ws
+	} else {
+		workers = cloneWorkers(cfg.Workers)
+	}
+
+	dist, queries := queryChain(cfg.Oracle, cfg.OracleKind, cfg.Pool)
+	fleet, err := core.NewFleet(cfg.Graph, dist, workers, cfg.CellMeters)
+	if err != nil {
+		return nil, err
+	}
+	var planner core.Planner
+	if cfg.Pool > 1 {
+		planner = dispatch.NewParallelPruneGreedyDP(fleet, cfg.Alpha, cfg.Pool)
+	} else {
+		planner = core.NewPruneGreedyDP(fleet, cfg.Alpha)
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		alpha:   cfg.Alpha,
+		window:  cfg.BatchWindow,
+		maxSize: cfg.BatchSize,
+		fleet:   fleet,
+		planner: planner,
+		world:   sim.NewWorld(fleet, shortest.NewBiDijkstra(cfg.Graph)),
+		queries: queries,
+		latency: newLatencyRing(8192),
+		wakeC:   make(chan struct{}, 1),
+		stopC:   make(chan struct{}),
+		doneC:   make(chan struct{}),
+	}
+	if cfg.Snapshot != nil {
+		s.simTime = cfg.Snapshot.SimTime
+		s.nextID = cfg.Snapshot.NextID
+		s.accepted = cfg.Snapshot.Accepted
+		s.rejected = cfg.Snapshot.Rejected
+		s.penaltySum = cfg.Snapshot.PenaltySum
+		s.batches = cfg.Snapshot.Batches
+		s.maxBatch = cfg.Snapshot.MaxBatch
+		s.lateAdmissions = cfg.Snapshot.LateAdmissions
+		s.world.RestoreStats(cfg.Snapshot.Completions, cfg.Snapshot.LateArrivals)
+	}
+	s.simTimeBits.Store(math.Float64bits(s.simTime))
+	go s.run()
+	return s, nil
+}
+
+// queryChain assembles the distance-query chain over the base oracle,
+// mirroring the experiment Runner: the serial planner gets the paper's
+// single-threaded cache+counter, the parallel dispatcher the
+// concurrency-safe equivalents (with a mutex around stateful oracles).
+func queryChain(base shortest.Oracle, kind string, pool int) (core.DistFunc, shortest.QueryCounter) {
+	if pool > 1 {
+		if kind != "hub" {
+			base = shortest.NewLocked(base)
+		}
+		ac := shortest.NewAtomicCounting(base)
+		return shortest.NewShardedCached(ac, 1<<18, 64).Dist, ac
+	}
+	c := shortest.NewCounting(base)
+	return shortest.NewCached(c, 1<<18).Dist, c
+}
+
+// cloneWorkers deep-copies a fleet so the server owns its state.
+func cloneWorkers(workers []*core.Worker) []*core.Worker {
+	out := make([]*core.Worker, len(workers))
+	for i, w := range workers {
+		cw := *w
+		cw.Route = w.Route.Clone()
+		out[i] = &cw
+	}
+	return out
+}
+
+// Planner reports the planning algorithm's name.
+func (s *Server) Planner() string { return s.planner.Name() }
+
+// submit enqueues a validated request and returns the channel its
+// decision will arrive on. defaultRelease marks a request whose release
+// was defaulted to "now" and is re-resolved at flush time.
+func (s *Server) submit(req *core.Request, defaultRelease bool) (<-chan Decision, error) {
+	s.qmu.Lock()
+	if s.draining {
+		s.qmu.Unlock()
+		return nil, errDraining
+	}
+	p := &pending{req: req, seq: s.seq, defRel: defaultRelease, enq: time.Now(), done: make(chan Decision, 1)}
+	s.seq++
+	s.pending = append(s.pending, p)
+	s.qmu.Unlock()
+	s.kick()
+	return p.done, nil
+}
+
+// reserveID resolves a request's ID: the client's when supplied — bumping
+// the server's counter past it so later *assigned* IDs never collide with
+// an ID already seen — or the next server-assigned one. The ID namespace
+// belongs to clients: a client may deliberately reuse an ID (the server
+// never rejects one below the counter), which makes that client's own
+// ETAs ambiguous but cannot affect decisions or other clients. Guarded by
+// qmu, not smu, so admission never waits on a flushing batch.
+func (s *Server) reserveID(client *int32) int32 {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if client != nil {
+		if *client >= s.nextID && *client < math.MaxInt32 {
+			s.nextID = *client + 1
+		}
+		return *client
+	}
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+func (s *Server) kick() {
+	select {
+	case s.wakeC <- struct{}{}:
+	default:
+	}
+}
+
+// run is the event loop: it sleeps until a batch is due (size reached or
+// window expired) and flushes it.
+func (s *Server) run() {
+	defer close(s.doneC)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
+	for {
+		select {
+		case <-s.wakeC:
+		case <-timer.C:
+			armed = false
+		case <-s.stopC:
+			disarm()
+			s.flush() // drain everything still pending
+			return
+		}
+		for {
+			s.qmu.Lock()
+			n := len(s.pending)
+			var oldest time.Time
+			if n > 0 {
+				oldest = s.pending[0].enq
+			}
+			s.qmu.Unlock()
+			if n == 0 {
+				disarm()
+				break
+			}
+			if n >= s.maxSize || time.Since(oldest) >= s.window {
+				s.flush()
+				continue
+			}
+			disarm()
+			timer.Reset(time.Until(oldest.Add(s.window)))
+			armed = true
+			break
+		}
+	}
+}
+
+// flush takes the whole pending queue as one batch and plans it in
+// (release, admission-sequence) order — the order sim.Engine's stable
+// release sort would process the same requests in.
+func (s *Server) flush() {
+	s.qmu.Lock()
+	batch := s.pending
+	s.pending = nil
+	s.qmu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	// A defaulted release means "now": resolve it against the event clock
+	// at flush time, so the clock's progress since admission is not
+	// misread as an out-of-order arrival.
+	for _, p := range batch {
+		if p.defRel && p.req.Release < s.simTime {
+			p.req.Release = s.simTime
+		}
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].req.Release != batch[j].req.Release {
+			return batch[i].req.Release < batch[j].req.Release
+		}
+		return batch[i].seq < batch[j].seq
+	})
+	s.batches++
+	if len(batch) > s.maxBatch {
+		s.maxBatch = len(batch)
+	}
+	for _, p := range batch {
+		t := p.req.Release
+		if t < s.simTime {
+			// The event clock already passed this release (an out-of-order
+			// arrival across batches): plan it now, but record that the
+			// offline-equivalence premise was violated for this request.
+			t = s.simTime
+			s.lateAdmissions++
+		}
+		s.simTime = t
+		s.simTimeBits.Store(math.Float64bits(t))
+		s.world.AdvanceAll(t)
+		res := s.planner.OnRequest(t, p.req)
+		d := Decision{
+			ID:      int32(p.req.ID),
+			Worker:  -1,
+			SimTime: t,
+			Batch:   s.batches,
+		}
+		if res.Served {
+			s.accepted++
+			s.world.MarkDirty(res.Worker)
+			d.Accepted = true
+			d.Worker = int32(res.Worker)
+			d.Delta = res.Delta
+			d.PickupETA, d.DropoffETA = stopETAs(&s.fleet.Workers[res.Worker].Route, p.req.ID)
+		} else {
+			s.rejected++
+			s.penaltySum += p.req.Penalty
+		}
+		d.WaitMs = float64(time.Since(p.enq).Nanoseconds()) / 1e6
+		s.latency.observe(d.WaitMs)
+		p.done <- d
+	}
+}
+
+// stopETAs finds the planned arrival times at the request's pickup and
+// drop-off in a freshly planned route.
+func stopETAs(rt *core.Route, id core.RequestID) (pickup, dropoff float64) {
+	for i, st := range rt.Stops {
+		if st.Req != id {
+			continue
+		}
+		if st.Kind == core.Pickup {
+			pickup = rt.Arr[i]
+		} else {
+			dropoff = rt.Arr[i]
+		}
+	}
+	return pickup, dropoff
+}
+
+// Shutdown drains the server: new submissions are refused, everything
+// already admitted is decided, and the event loop exits. It is safe to
+// call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	already := s.draining
+	s.draining = true
+	s.qmu.Unlock()
+	if !already {
+		close(s.stopC)
+	}
+	select {
+	case <-s.doneC:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats returns a batch-atomic snapshot of the serving metrics.
+func (s *Server) Stats() Stats {
+	s.qmu.Lock()
+	pendingN := len(s.pending)
+	s.qmu.Unlock()
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	total := s.accepted + s.rejected
+	st := Stats{
+		Algorithm:      s.planner.Name(),
+		Oracle:         s.cfg.OracleKind,
+		Workers:        len(s.fleet.Workers),
+		SimTime:        s.simTime,
+		Requests:       total,
+		Accepted:       s.accepted,
+		Rejected:       s.rejected,
+		ServedRate:     core.ServedRate(s.accepted, total),
+		TotalDistance:  s.fleet.TotalDistance(),
+		PenaltySum:     s.penaltySum,
+		Completions:    s.world.Completions(),
+		LateArrivals:   s.world.LateArrivals(),
+		Batches:        s.batches,
+		MaxBatch:       s.maxBatch,
+		LateAdmissions: s.lateAdmissions,
+		Pending:        pendingN,
+	}
+	st.UnifiedCost = s.alpha*st.TotalDistance + st.PenaltySum
+	if s.queries != nil {
+		st.DistQueries = s.queries.Count()
+	}
+	st.LatencyMs.P50 = s.latency.percentile(0.50)
+	st.LatencyMs.P95 = s.latency.percentile(0.95)
+	st.LatencyMs.P99 = s.latency.percentile(0.99)
+	return st
+}
+
+// WorkerRoute returns the live route of one worker.
+func (s *Server) WorkerRoute(id core.WorkerID) (core.WorkerState, bool) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if int(id) < 0 || int(id) >= len(s.fleet.Workers) {
+		return core.WorkerState{}, false
+	}
+	return core.NewWorkerState(s.fleet.Workers[id]), true
+}
+
+// TakeSnapshot captures the full serving state for crash recovery and
+// warm restarts (FORMATS.md §5).
+func (s *Server) TakeSnapshot() *Snapshot {
+	s.qmu.Lock()
+	nextID := s.nextID
+	s.qmu.Unlock()
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	sn := &Snapshot{
+		Format:         SnapshotFormat,
+		Version:        SnapshotVersion,
+		SimTime:        s.simTime,
+		NextID:         nextID,
+		Accepted:       s.accepted,
+		Rejected:       s.rejected,
+		PenaltySum:     s.penaltySum,
+		Batches:        s.batches,
+		MaxBatch:       s.maxBatch,
+		LateAdmissions: s.lateAdmissions,
+		Completions:    s.world.Completions(),
+		LateArrivals:   s.world.LateArrivals(),
+		Workers:        make([]core.WorkerState, len(s.fleet.Workers)),
+	}
+	for i, w := range s.fleet.Workers {
+		sn.Workers[i] = core.NewWorkerState(w)
+	}
+	return sn
+}
+
+// latencyRing keeps the most recent admission-to-decision latencies so a
+// long-running server reports current percentiles in bounded memory.
+type latencyRing struct {
+	buf  []float64
+	next int
+}
+
+func newLatencyRing(size int) *latencyRing {
+	return &latencyRing{buf: make([]float64, 0, size)}
+}
+
+func (r *latencyRing) observe(ms float64) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ms)
+	} else {
+		r.buf[r.next] = ms
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// percentile returns the p-quantile of the retained window.
+func (r *latencyRing) percentile(p float64) float64 {
+	return sim.Percentile(append([]float64(nil), r.buf...), p)
+}
+
+// OfflineDecisions replays inst through the offline sim.Engine with the
+// same planner and oracle wiring a Server with the given pool would use,
+// and returns the per-request decisions keyed by request ID — the
+// reference side of the replay-equivalence check (-lockstep). The
+// caller's instance is left untouched.
+func OfflineDecisions(g *roadnet.Graph, inst *workload.Instance, oracle shortest.Oracle,
+	oracleKind string, alpha float64, pool int) (map[int32]Decision, sim.Metrics, error) {
+	if alpha == 0 {
+		alpha = 1
+	}
+	dist, queries := queryChain(oracle, oracleKind, pool)
+	fleet, err := core.NewFleet(g, dist, cloneWorkers(inst.Workers), 2000)
+	if err != nil {
+		return nil, sim.Metrics{}, err
+	}
+	var planner core.Planner
+	if pool > 1 {
+		planner = dispatch.NewParallelPruneGreedyDP(fleet, alpha, pool)
+	} else {
+		planner = core.NewPruneGreedyDP(fleet, alpha)
+	}
+	rec := &recordingPlanner{inner: planner, decisions: make(map[int32]Decision, len(inst.Requests))}
+	eng := sim.NewEngine(fleet, rec, shortest.NewBiDijkstra(g), alpha)
+	eng.Queries = queries
+	m, err := eng.Run(append([]*core.Request(nil), inst.Requests...))
+	if err != nil {
+		return nil, sim.Metrics{}, err
+	}
+	return rec.decisions, m, nil
+}
+
+// recordingPlanner captures each request's outcome as a Decision.
+type recordingPlanner struct {
+	inner     core.Planner
+	decisions map[int32]Decision
+}
+
+func (r *recordingPlanner) Name() string { return r.inner.Name() }
+
+func (r *recordingPlanner) OnRequest(now float64, req *core.Request) core.Result {
+	res := r.inner.OnRequest(now, req)
+	d := Decision{ID: int32(req.ID), Worker: -1, SimTime: now}
+	if res.Served {
+		d.Accepted = true
+		d.Worker = int32(res.Worker)
+		d.Delta = res.Delta
+	}
+	r.decisions[int32(req.ID)] = d
+	return res
+}

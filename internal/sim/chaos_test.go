@@ -137,8 +137,8 @@ func TestBatchUnderMovement(t *testing.T) {
 	if err := eng.FastForward(); err != nil {
 		t.Fatal(err)
 	}
-	if eng.completions != m.Served {
-		t.Fatalf("completions %d != served %d", eng.completions, m.Served)
+	if eng.world.completions != m.Served {
+		t.Fatalf("completions %d != served %d", eng.world.completions, m.Served)
 	}
 }
 

@@ -8,36 +8,26 @@
 // committed location (route.Loc at route.Now) is what planners see and
 // what the grid index stores. This keeps every insertion causally valid —
 // no plan ever rewrites travel that already happened.
+//
+// The movement/commit logic lives in World so the online dispatch service
+// (internal/serve) drives the exact same state machine; Engine adds the
+// offline concerns: batch execution over a request slice, compute-time
+// accounting and the paper's metrics.
 package sim
 
 import (
-	"fmt"
-	"math"
 	"sort"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/roadnet"
 	"repro/internal/shortest"
 )
 
-// workerState tracks the current leg (vertex path) of one worker.
-type workerState struct {
-	w     *core.Worker
-	path  []roadnet.VertexID // Loc → Stops[0].Vertex along a shortest path
-	times []float64          // absolute arrival time at each path vertex
-	idx   int                // current position: w.Route.Loc == path[idx]
-	dirty bool               // first leg changed; path must be recomputed
-	rides int                // distinct requests currently on board
-}
-
-// Engine drives one simulation run.
+// Engine drives one simulation run. The leg-path oracle lives on the
+// World (the only consumer); reach it via World().Paths.
 type Engine struct {
 	Fleet   *core.Fleet
 	Planner core.Planner
-	// Paths finds leg paths once per leg; distance queries go through the
-	// fleet's oracle instead.
-	Paths shortest.PathOracle
 	// Queries, when set, is read to report distance-query counts; both
 	// shortest.Counting (serial planners) and shortest.AtomicCounting
 	// (the parallel dispatcher) satisfy it.
@@ -45,31 +35,27 @@ type Engine struct {
 	// Alpha is the unified-cost weight α.
 	Alpha float64
 
-	states []workerState
+	world *World
 
 	served       []*core.Request
 	rejected     []*core.Request
 	computeNs    int64
 	maxComputeNs int64
 	respSamples  []float64 // per-request compute ms
-	completions  int
-	lateArrivals int
-	legsComputed int
-
-	// Occupancy accounting (time-weighted, while driving).
-	driveSeconds  float64
-	occSeconds    float64 // ∫ onboard-load dt
-	sharedSeconds float64 // driving time with ≥2 pooled requests
 }
 
 // NewEngine wires a fleet, a planner and a path engine together.
 func NewEngine(fleet *core.Fleet, planner core.Planner, paths shortest.PathOracle, alpha float64) *Engine {
-	states := make([]workerState, len(fleet.Workers))
-	for i, w := range fleet.Workers {
-		states[i] = workerState{w: w, dirty: true}
+	return &Engine{
+		Fleet:   fleet,
+		Planner: planner,
+		Alpha:   alpha,
+		world:   NewWorld(fleet, paths),
 	}
-	return &Engine{Fleet: fleet, Planner: planner, Paths: paths, Alpha: alpha, states: states}
 }
+
+// World returns the live platform state the engine advances.
+func (e *Engine) World() *World { return e.world }
 
 // Run processes all requests in release order and returns the run metrics.
 // The request slice is sorted in place by release time.
@@ -82,7 +68,7 @@ func (e *Engine) Run(requests []*core.Request) (Metrics, error) {
 		if err := r.Validate(); err != nil {
 			return Metrics{}, err
 		}
-		e.advanceAll(r.Release)
+		e.world.AdvanceAll(r.Release)
 		start := time.Now()
 		res := e.Planner.OnRequest(r.Release, r)
 		e.observe(time.Since(start).Nanoseconds())
@@ -124,153 +110,19 @@ func (e *Engine) record(r *core.Request, res core.Result) {
 		e.served = append(e.served, r)
 		// The planner mutated the worker's route; its first leg may have
 		// changed, so the cached path is stale.
-		e.states[res.Worker].dirty = true
+		e.world.MarkDirty(res.Worker)
 	} else {
 		e.rejected = append(e.rejected, r)
 	}
 }
 
 // advanceAll moves every worker to simulation time t.
-func (e *Engine) advanceAll(t float64) {
-	for i := range e.states {
-		e.advanceWorker(&e.states[i], t)
-	}
-}
-
-// advanceWorker incrementally moves one worker to time t, popping
-// completed stops and committing mid-edge positions to the next vertex.
-func (e *Engine) advanceWorker(ws *workerState, t float64) {
-	w := ws.w
-	rt := &w.Route
-	for {
-		if len(rt.Stops) == 0 {
-			ws.path = nil
-			if rt.Now < t {
-				rt.Now = t // idle: wait in place
-			}
-			return
-		}
-		if rt.Now > t {
-			return // already committed beyond t
-		}
-		if ws.dirty || ws.path == nil {
-			e.computeLeg(ws)
-		}
-		// Walk whole vertices whose arrival is ≤ t.
-		for ws.idx+1 < len(ws.path) && ws.times[ws.idx+1] <= t {
-			e.hop(ws)
-		}
-		if ws.idx+1 < len(ws.path) {
-			// Mid-edge at time t: commit to the next vertex.
-			if rt.Now < t {
-				e.hop(ws)
-			}
-			return
-		}
-		// At the leg's final vertex: the first stop is reached.
-		if rt.Now > t {
-			return
-		}
-		e.popStop(ws)
-	}
-}
-
-// hop advances the worker one vertex along its leg.
-func (e *Engine) hop(ws *workerState) {
-	rt := &ws.w.Route
-	ws.idx++
-	dt := ws.times[ws.idx] - rt.Now
-	rt.Loc = ws.path[ws.idx]
-	rt.Now = ws.times[ws.idx]
-	ws.w.Traveled += dt
-	e.driveSeconds += dt
-	e.occSeconds += dt * float64(rt.Onboard)
-	if ws.rides >= 2 {
-		e.sharedSeconds += dt
-	}
-	e.Fleet.UpdateWorkerPosition(ws.w)
-}
-
-// popStop completes the first stop of the route.
-func (e *Engine) popStop(ws *workerState) {
-	rt := &ws.w.Route
-	st := rt.Stops[0]
-	if st.Kind == core.Dropoff {
-		e.completions++
-		ws.rides--
-		if rt.Arr[0] > st.DDL+1e-6 {
-			e.lateArrivals++
-		}
-	} else {
-		ws.rides++
-	}
-	rt.Loc = st.Vertex
-	rt.Now = rt.Arr[0]
-	rt.Onboard += loadDelta(st)
-	rt.Stops = rt.Stops[1:]
-	rt.Arr = rt.Arr[1:]
-	ws.dirty = true
-	e.Fleet.UpdateWorkerPosition(ws.w)
-}
-
-func loadDelta(s core.Stop) int {
-	if s.Kind == core.Pickup {
-		return s.Cap
-	}
-	return -s.Cap
-}
-
-// computeLeg finds the vertex path of the worker's first leg and its
-// per-vertex arrival times, normalizing the final time to the cached
-// arrival so float drift cannot accumulate.
-func (e *Engine) computeLeg(ws *workerState) {
-	rt := &ws.w.Route
-	target := rt.Stops[0].Vertex
-	if rt.Loc == target {
-		ws.path = []roadnet.VertexID{rt.Loc}
-		ws.times = []float64{rt.Now}
-		ws.idx = 0
-		ws.dirty = false
-		return
-	}
-	path := e.Paths.Path(rt.Loc, target)
-	if path == nil {
-		panic(fmt.Sprintf("sim: no path from %d to %d on a connected network", rt.Loc, target))
-	}
-	e.legsComputed++
-	times := make([]float64, len(path))
-	times[0] = rt.Now
-	for k := 1; k < len(path); k++ {
-		c, ok := e.Fleet.Graph.EdgeCost(path[k-1], path[k])
-		if !ok {
-			panic(fmt.Sprintf("sim: path engine returned non-edge (%d,%d)", path[k-1], path[k]))
-		}
-		times[k] = times[k-1] + c
-	}
-	// The cached route arrival is authoritative; absorb float drift
-	// (and, for approximate path engines, their error) into the last hop.
-	times[len(times)-1] = rt.Arr[0]
-	ws.path = path
-	ws.times = times
-	ws.idx = 0
-	ws.dirty = false
-}
+func (e *Engine) advanceAll(t float64) { e.world.AdvanceAll(t) }
 
 // FastForward completes every worker's remaining route, verifying that all
 // planned deadlines are met. It returns an error when any drop-off was
 // late — which would indicate an insertion-feasibility bug.
-func (e *Engine) FastForward() error {
-	e.advanceAll(math.Inf(1))
-	if e.lateArrivals > 0 {
-		return fmt.Errorf("sim: %d drop-offs arrived after their deadline", e.lateArrivals)
-	}
-	for _, w := range e.Fleet.Workers {
-		if len(w.Route.Stops) != 0 {
-			return fmt.Errorf("sim: worker %d still has %d stops after fast-forward", w.ID, len(w.Route.Stops))
-		}
-	}
-	return nil
-}
+func (e *Engine) FastForward() error { return e.world.FastForward() }
 
 // Served returns the requests accepted so far.
 func (e *Engine) Served() []*core.Request { return e.served }
@@ -284,9 +136,9 @@ func (e *Engine) metrics(total int) Metrics {
 		Requests:      total,
 		Served:        len(e.served),
 		TotalDistance: e.Fleet.TotalDistance(),
-		Completions:   e.completions,
-		LateArrivals:  e.lateArrivals,
-		LegsComputed:  e.legsComputed,
+		Completions:   e.world.Completions(),
+		LateArrivals:  e.world.LateArrivals(),
+		LegsComputed:  e.world.LegsComputed(),
 	}
 	for _, r := range e.rejected {
 		m.PenaltySum += r.Penalty
@@ -296,14 +148,11 @@ func (e *Engine) metrics(total int) Metrics {
 	if total > 0 {
 		m.AvgResponseMs = float64(e.computeNs) / float64(total) / 1e6
 	}
-	m.P50ResponseMs = percentile(append([]float64(nil), e.respSamples...), 0.50)
-	m.P95ResponseMs = percentile(append([]float64(nil), e.respSamples...), 0.95)
+	m.P50ResponseMs = Percentile(append([]float64(nil), e.respSamples...), 0.50)
+	m.P95ResponseMs = Percentile(append([]float64(nil), e.respSamples...), 0.95)
 	m.MaxResponseMs = float64(e.maxComputeNs) / 1e6
 	m.TotalComputeMs = float64(e.computeNs) / 1e6
-	if e.driveSeconds > 0 {
-		m.AvgOccupancy = e.occSeconds / e.driveSeconds
-		m.SharedFraction = e.sharedSeconds / e.driveSeconds
-	}
+	m.AvgOccupancy, m.SharedFraction = e.world.Occupancy()
 	if e.Queries != nil {
 		m.DistQueries = e.Queries.Count()
 	}

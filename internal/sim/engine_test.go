@@ -86,8 +86,8 @@ func TestEndToEndPruneGreedyDP(t *testing.T) {
 	if err := eng.FastForward(); err != nil {
 		t.Fatal(err)
 	}
-	if eng.completions != m.Served {
-		t.Fatalf("completions=%d served=%d", eng.completions, m.Served)
+	if eng.world.completions != m.Served {
+		t.Fatalf("completions=%d served=%d", eng.world.completions, m.Served)
 	}
 	// After fast-forward the total distance must match what the planner
 	// promised (planned = executed).

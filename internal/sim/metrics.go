@@ -42,8 +42,12 @@ type Metrics struct {
 	GridMemoryBytes int64
 }
 
-// percentile returns the p-quantile (0..1) of samples, which it sorts.
-func percentile(samples []float64, p float64) float64 {
+// Percentile returns the p-quantile (0..1) of samples, which it sorts in
+// place (nearest-rank on the sorted slice, no interpolation). It is the
+// single quantile implementation shared by the simulator's metrics, the
+// serving tier's latency stats and cmd/urpsm-replay's report, so all
+// three agree on what "p99" means.
+func Percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {
 		return 0
 	}

@@ -61,17 +61,17 @@ func TestIdleWorkersCarryNoOccupancy(t *testing.T) {
 }
 
 func TestPercentileHelper(t *testing.T) {
-	if percentile(nil, 0.5) != 0 {
+	if Percentile(nil, 0.5) != 0 {
 		t.Fatal("empty percentile")
 	}
 	s := []float64{5, 1, 3, 2, 4}
-	if p := percentile(append([]float64(nil), s...), 0); p != 1 {
+	if p := Percentile(append([]float64(nil), s...), 0); p != 1 {
 		t.Fatalf("p0=%v", p)
 	}
-	if p := percentile(append([]float64(nil), s...), 1); p != 5 {
+	if p := Percentile(append([]float64(nil), s...), 1); p != 5 {
 		t.Fatalf("p100=%v", p)
 	}
-	if p := percentile(append([]float64(nil), s...), 0.5); p != 3 {
+	if p := Percentile(append([]float64(nil), s...), 0.5); p != 3 {
 		t.Fatalf("p50=%v", p)
 	}
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the online dispatch service.
+#
+# Builds the commands, generates a fixture network + workload (1500
+# requests), starts urpsm-serve, replays the full workload in -lockstep
+# mode (asserting the served decisions are bit-identical to an offline
+# sim.Engine run and printing p50/p95/p99 latency), then sends SIGTERM
+# and asserts a clean drain + snapshot write.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=$(mktemp -d)
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$BIN" "$WORK"
+}
+trap cleanup EXIT
+
+PORT=$(( 20000 + RANDOM % 20000 ))
+ADDR="127.0.0.1:$PORT"
+
+echo "== build =="
+go build -o "$BIN" ./cmd/...
+
+echo "== fixture (chengdu preset, scale 0.1: 1500 requests, 60 workers) =="
+"$BIN/netgen" -preset chengdu -scale 0.1 \
+    -o "$WORK/city.net" -workload "$WORK/city.load" > /dev/null
+
+echo "== start urpsm-serve on $ADDR =="
+"$BIN/urpsm-serve" -net "$WORK/city.net" -load "$WORK/city.load" \
+    -oracle auto -addr "$ADDR" -batch-window 2ms \
+    -snapshot "$WORK/state.json" > "$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+echo "== lockstep replay =="
+"$BIN/urpsm-replay" -net "$WORK/city.net" -load "$WORK/city.load" \
+    -addr "$ADDR" -oracle auto -lockstep
+
+echo "== scrape /metrics =="
+if command -v curl > /dev/null; then
+    curl -sf "http://$ADDR/metrics" | grep -E '^urpsm_(requests_total|batches_total)' || {
+        echo "metrics scrape failed" >&2; exit 1; }
+fi
+
+echo "== graceful shutdown =="
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "urpsm-serve exited non-zero; log:" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+fi
+SERVE_PID=""
+grep -q "wrote snapshot" "$WORK/serve.log" || {
+    echo "no snapshot written; log:" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+test -s "$WORK/state.json"
+
+echo "== warm restart from snapshot =="
+"$BIN/urpsm-serve" -net "$WORK/city.net" -load "$WORK/city.load" \
+    -oracle auto -addr "$ADDR" -snapshot "$WORK/state.json" \
+    > "$WORK/serve2.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "urpsm-serve on" "$WORK/serve2.log" && break
+    sleep 0.1
+done
+grep -q "restored snapshot" "$WORK/serve2.log" || {
+    echo "warm restart did not restore; log:" >&2; cat "$WORK/serve2.log" >&2; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "serve-smoke OK"
