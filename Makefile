@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench check golden fuzz serve-smoke
+.PHONY: all build vet test race bench-smoke bench bench-json check golden fuzz serve-smoke
 
 all: check
 
@@ -23,6 +23,13 @@ bench-smoke:
 # Full benchmark suite (regenerates the paper's tables and figures).
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Headline benchmarks -> JSON trajectory artifact (BENCH_PR4.json).
+# Override: make bench-json BENCHTIME=1x BENCHOUT=/tmp/bench.json
+BENCHTIME ?= 100x
+BENCHOUT ?= BENCH_PR4.json
+bench-json:
+	./scripts/bench-json.sh -t $(BENCHTIME) -o $(BENCHOUT)
 
 # Regenerate golden files after a deliberate formatter change.
 golden:

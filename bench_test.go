@@ -182,10 +182,12 @@ func BenchmarkHardnessAdversary(b *testing.B) {
 }
 
 // BenchmarkInsertionScaling is the §4 complexity ablation: the three
-// operators on growing route lengths with an O(1) oracle. The per-op
-// times in the sub-benchmark names reproduce the cubic/quadric/linear
-// separation.
+// operators on growing route lengths with an O(1) oracle, each running on
+// a warmed scratch arena exactly as the planners do (0 allocs/op). The
+// per-op times in the sub-benchmark names reproduce the cubic/quadric/
+// linear separation.
 func BenchmarkInsertionScaling(b *testing.B) {
+	var sc core.Scratch
 	for _, n := range []int{8, 16, 32, 64, 128, 256} {
 		g, err := roadnet.LineGraph(2*n+10, 1)
 		if err != nil {
@@ -196,17 +198,17 @@ func BenchmarkInsertionScaling(b *testing.B) {
 		L := m.Dist(req.Origin, req.Dest)
 		b.Run(fmt.Sprintf("basic/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.BasicInsertion(rt, 1<<30, req, m.Dist)
+				sc.Basic(rt, 1<<30, req, m.Dist)
 			}
 		})
 		b.Run(fmt.Sprintf("naiveDP/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.NaiveDPInsertion(rt, 1<<30, req, L, m.Dist)
+				sc.NaiveDP(rt, 1<<30, req, L, m.Dist)
 			}
 		})
 		b.Run(fmt.Sprintf("linearDP/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.LinearDPInsertion(rt, 1<<30, req, L, m.Dist)
+				sc.LinearDP(rt, 1<<30, req, L, m.Dist)
 			}
 		})
 	}
@@ -404,8 +406,9 @@ func BenchmarkDecisionLowerBound(b *testing.B) {
 	rt.Recompute(m.Dist)
 	req.Origin, req.Dest = 5, roadnet.VertexID(g.NumVertices()-1)
 	L := m.Dist(req.Origin, req.Dest)
+	var sc core.Scratch
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.LowerBoundInsertion(rt, 1<<30, req, g, L)
+		sc.LowerBound(rt, 1<<30, req, g, L)
 	}
 }

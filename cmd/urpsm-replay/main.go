@@ -294,4 +294,3 @@ func replayPaced(client *http.Client, base string, reqs []*core.Request, speedup
 	wg.Wait()
 	return outcomes, nil
 }
-

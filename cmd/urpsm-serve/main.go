@@ -14,6 +14,10 @@
 //
 // API: POST /v1/requests, GET /v1/workers/{id}/route, GET /v1/stats,
 // GET /v1/snapshot, GET /metrics (Prometheus text). See FORMATS.md §5.
+//
+// With -pprof ADDR the daemon additionally serves net/http/pprof on a
+// separate listener (off by default; keep it loopback-only in
+// production). See DESIGN.md §10.4 for the profiling walkthrough.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,17 +50,18 @@ func main() {
 		gridKm      = flag.Float64("grid", 2, "grid cell size g in km")
 		alpha       = flag.Float64("alpha", 1, "unified-cost weight α")
 		snapshot    = flag.String("snapshot", "", "state file: restored at startup when present, written on graceful shutdown")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 	if err := run(*netFile, *loadFile, *oracle, *addr, *batchWindow, *batchSize,
-		*parallel, *gridKm, *alpha, *snapshot); err != nil {
+		*parallel, *gridKm, *alpha, *snapshot, *pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
-	batchSize, parallel int, gridKm, alpha float64, snapshotFile string) error {
+	batchSize, parallel int, gridKm, alpha float64, snapshotFile, pprofAddr string) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load are required")
 	}
@@ -128,6 +134,25 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		}
 	}()
 
+	// Optional profiling listener, separate from the service port so the
+	// dispatch API surface never exposes pprof by accident.
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: pprofAddr, Handler: mux}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pprofAddr)
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errC <- fmt.Errorf("pprof: %w", err)
+			}
+		}()
+	}
+
 	sigC := make(chan os.Signal, 1)
 	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -146,6 +171,11 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("pprof shutdown: %w", err)
+		}
 	}
 	if snapshotFile != "" {
 		if err := writeSnapshotFile(snapshotFile, srv); err != nil {

@@ -27,6 +27,9 @@ type Batch struct {
 	pending     []*core.Request
 	windowStart float64
 	results     []core.DeferredResult
+
+	// sc is the planner's insertion arena (single-threaded).
+	sc core.Scratch
 }
 
 // NewBatch returns the planner with the paper-scale defaults.
@@ -155,7 +158,7 @@ func (b *Batch) assignGroup(now float64, grp []*core.Request) {
 		trial := w.Route.Clone()
 		p := plan{served: make([]bool, len(grp)), inss: make([]core.Insertion, len(grp))}
 		for i, r := range grp {
-			ins := core.BasicInsertion(&trial, w.Capacity, r, f.Dist)
+			ins := b.sc.Basic(&trial, w.Capacity, r, f.Dist)
 			if !ins.OK || b.alpha*ins.Delta > r.Penalty {
 				continue
 			}

@@ -21,6 +21,9 @@ type Kinetic struct {
 	alpha    float64
 	MaxNodes int
 
+	// sc is the decision-phase arena (single-threaded planner).
+	sc core.Scratch
+
 	// scratch state for the DFS
 	stops []core.Stop
 	used  []bool
@@ -49,7 +52,7 @@ func (k *Kinetic) OnRequest(now float64, req *core.Request) core.Result {
 	}
 	// URPSM adaptation: the same decision-phase rejection as the paper
 	// applies to all compared algorithms (see its Fig. 7 discussion).
-	lbs, reject := core.Decide(k.alpha, cands, req, f.Graph, L)
+	lbs, reject := k.sc.Decide(k.alpha, cands, req, f.Graph, L)
 	if reject {
 		return core.Result{}
 	}

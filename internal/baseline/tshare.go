@@ -28,6 +28,11 @@ type TShare struct {
 	fleet *core.Fleet
 	grid  *spatial.TShareGrid
 	alpha float64
+
+	// sc and cands are the planner's reusable arenas (single-threaded,
+	// like every baseline planner).
+	sc    core.Scratch
+	cands []*core.Worker
 }
 
 // NewTShare builds the planner and its T-Share grid with the given cell
@@ -63,7 +68,7 @@ func (t *TShare) OnRequest(now float64, req *core.Request) core.Result {
 	// Lazy outward scan over the pre-sorted cell list: stop once the ring
 	// that produced the first candidates is exhausted, or the reachable
 	// radius is exceeded.
-	var cands []*core.Worker
+	cands := t.cands[:0]
 	cells := t.grid.CellsByDistance(origin)
 	cellR := t.grid.CellRadius()
 	stopAt := math.Inf(1)
@@ -82,6 +87,7 @@ func (t *TShare) OnRequest(now float64, req *core.Request) core.Result {
 			stopAt = d + cellR
 		}
 	}
+	t.cands = cands // retain growth across requests
 	if len(cands) == 0 {
 		return core.Result{}
 	}
@@ -89,7 +95,7 @@ func (t *TShare) OnRequest(now float64, req *core.Request) core.Result {
 	var bestW *core.Worker
 	best := core.Infeasible
 	for _, w := range cands {
-		ins := core.BasicInsertion(&w.Route, w.Capacity, req, f.Dist)
+		ins := t.sc.Basic(&w.Route, w.Capacity, req, f.Dist)
 		if !ins.OK {
 			continue
 		}

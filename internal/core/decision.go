@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math"
-
 	"repro/internal/roadnet"
 )
 
@@ -18,15 +16,12 @@ import (
 // feasible under the relaxation and every candidate value can only shrink,
 // so the minimum is a valid lower bound. +Inf means no insertion can be
 // feasible even optimistically.
+//
+// This convenience form allocates a fresh context per call; planners use
+// Scratch.LowerBound, which reuses one arena across requests.
 func LowerBoundInsertion(rt *Route, kw int, req *Request, g *roadnet.Graph, L float64) float64 {
-	c := newInsCtx(rt, kw, req, L)
-	c.fillEuclid(g)
-	ins := linearDP(c)
-	if !ins.OK {
-		return math.Inf(1)
-	}
-	// Euclidean "detours" can be negative; the true Δ* is never below 0.
-	return math.Max(0, ins.Delta)
+	var sc Scratch
+	return sc.LowerBound(rt, kw, req, g, L)
 }
 
 // WorkerBound pairs a worker with its decision-phase lower bound.
@@ -35,28 +30,11 @@ type WorkerBound struct {
 	Worker *Worker
 }
 
-// Decide is Algorithm 4: compute LBΔ* for every candidate worker and
-// report whether the request should be rejected outright because even the
-// optimistic cost α·min LB exceeds the penalty. The returned slice feeds
-// the planning phase (it is not yet sorted; pruneGreedyDP sorts it,
-// GreedyDP does not need to).
+// Decide is Algorithm 4 in its allocating convenience form; planners use
+// Scratch.Decide, which reuses one arena across requests and computes the
+// identical result.
 func Decide(alpha float64, cands []*Worker, req *Request, g *roadnet.Graph, L float64) (lbs []WorkerBound, reject bool) {
-	lbs = make([]WorkerBound, 0, len(cands))
-	minLB := math.Inf(1)
-	for _, w := range cands {
-		lb := LowerBoundInsertion(&w.Route, w.Capacity, req, g, L)
-		if math.IsInf(lb, 1) {
-			continue // provably infeasible for this worker
-		}
-		lbs = append(lbs, WorkerBound{LB: lb, Worker: w})
-		if lb < minLB {
-			minLB = lb
-		}
-	}
-	if len(lbs) == 0 {
-		return nil, true
-	}
-	// Reject when p_r < α·min LB (Algorithm 4 line 5): serving would
-	// increase the unified cost more than rejecting.
-	return lbs, req.Penalty < alpha*minLB
+	var sc Scratch
+	lbs, reject = sc.Decide(alpha, cands, req, g, L)
+	return lbs, reject
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync/atomic"
 )
 
@@ -30,6 +30,10 @@ func NewAtomicBound() *AtomicBound {
 // Load returns the current bound.
 func (b *AtomicBound) Load() float64 { return math.Float64frombits(b.bits.Load()) }
 
+// Reset re-arms the bound to +Inf so it can be reused across planning
+// phases without reallocating. Not safe to call while scans are running.
+func (b *AtomicBound) Reset() { b.bits.Store(math.Float64bits(math.Inf(1))) }
+
 // Shrink lowers the bound to v when v is smaller; safe for any number of
 // concurrent callers.
 func (b *AtomicBound) Shrink(v float64) {
@@ -46,13 +50,19 @@ func (b *AtomicBound) Shrink(v float64) {
 
 // SortWorkerBounds orders lbs by (LBΔ*, WorkerID) ascending — the
 // pruneGreedyDP scan order. The worker-ID tie-break makes the order a
-// total one, so serial and parallel planners sort identically.
+// total one, so the sorted result is unique: serial and parallel planners
+// (and any sorting algorithm) produce the identical permutation. The
+// generic slices.SortFunc avoids sort.Slice's reflection and its per-call
+// closure allocation on the hot path.
 func SortWorkerBounds(lbs []WorkerBound) {
-	sort.Slice(lbs, func(i, j int) bool {
-		if lbs[i].LB != lbs[j].LB {
-			return lbs[i].LB < lbs[j].LB
+	slices.SortFunc(lbs, func(a, b WorkerBound) int {
+		switch {
+		case a.LB < b.LB:
+			return -1
+		case a.LB > b.LB:
+			return 1
 		}
-		return lbs[i].Worker.ID < lbs[j].Worker.ID
+		return int(a.Worker.ID - b.Worker.ID)
 	})
 }
 
@@ -78,7 +88,11 @@ func BetterCandidate(w1 *Worker, ins1 Insertion, w2 *Worker, ins2 Insertion) boo
 // response time — pays no allocations or CAS operations. The two must
 // stay in lockstep; the equivalence suite in internal/dispatch
 // machine-checks that they select identical winners.
-func EvalCandidatesSerial(insert InsertionFunc, prune bool, lbs []WorkerBound,
+//
+// sc is the scan's insertion arena; it must be exclusive to this call
+// (Scratch asserts that), because the operator's auxiliary arrays live in
+// it for the duration of each candidate evaluation.
+func EvalCandidatesSerial(sc *Scratch, insert InsertionFunc, prune bool, lbs []WorkerBound,
 	req *Request, L float64, dist DistFunc) (*Worker, Insertion) {
 	var bestW *Worker
 	bestIns := Infeasible
@@ -90,7 +104,7 @@ func EvalCandidatesSerial(insert InsertionFunc, prune bool, lbs []WorkerBound,
 			break
 		}
 		w := wb.Worker
-		ins := insert(&w.Route, w.Capacity, req, L, dist)
+		ins := insert(sc, &w.Route, w.Capacity, req, L, dist)
 		if !ins.OK {
 			continue
 		}
@@ -116,7 +130,13 @@ func EvalCandidatesSerial(insert InsertionFunc, prune bool, lbs []WorkerBound,
 // the final winner's — it could not even tie. Concurrent scans sharing
 // one bound and one cursor therefore select, after merging local bests
 // with BetterCandidate, exactly the worker the serial scan selects.
-func EvalCandidates(insert InsertionFunc, prune bool, lbs []WorkerBound,
+//
+// sc must be exclusive to this scan: concurrent scans of one planning
+// phase share lbs, bound and next, but NEVER a Scratch — the insertion
+// operator's auxiliary arrays live in it while a candidate is evaluated,
+// and sharing would corrupt them mid-computation (Scratch panics on such
+// use; internal/dispatch's race suite exercises the contract).
+func EvalCandidates(sc *Scratch, insert InsertionFunc, prune bool, lbs []WorkerBound,
 	req *Request, L float64, dist DistFunc, bound *AtomicBound, next func() int) (*Worker, Insertion) {
 	var bestW *Worker
 	bestIns := Infeasible
@@ -131,7 +151,7 @@ func EvalCandidates(insert InsertionFunc, prune bool, lbs []WorkerBound,
 			return bestW, bestIns
 		}
 		w := wb.Worker
-		ins := insert(&w.Route, w.Capacity, req, L, dist)
+		ins := insert(sc, &w.Route, w.Capacity, req, L, dist)
 		if !ins.OK {
 			continue
 		}

@@ -59,17 +59,25 @@ func (f *Fleet) Worker(id WorkerID) *Worker { return f.Workers[id] }
 // edge because a moving worker's committed vertex may lie up to one edge
 // ahead of its physical position.
 func (f *Fleet) Candidates(req *Request, now, L float64) []*Worker {
+	return f.CandidatesAppend(nil, req, now, L)
+}
+
+// CandidatesAppend is Candidates into a caller-owned buffer: matching
+// workers are appended to dst (which may be nil or a recycled slice with
+// its length reset) and the extended slice is returned. Planners route
+// this through their Scratch so the steady-state candidate retrieval
+// allocates nothing.
+func (f *Fleet) CandidatesAppend(dst []*Worker, req *Request, now, L float64) []*Worker {
 	budget := req.Deadline - L - now // seconds available to reach the pickup
 	if budget < 0 {
-		return nil
+		return dst
 	}
 	radius := budget*geo.MaxSpeed() + f.maxEdgeMeters
-	var out []*Worker
 	f.Grid.Within(f.Graph.Point(req.Origin), radius, func(id spatial.ItemID, _ geo.Point) bool {
-		out = append(out, f.Workers[id])
+		dst = append(dst, f.Workers[id])
 		return true
 	})
-	return out
+	return dst
 }
 
 // TotalDistance sums D(S_w) over the fleet.

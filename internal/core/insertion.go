@@ -63,6 +63,10 @@ func (ins *Insertion) clampNonNegative() Insertion {
 // the cached route arrivals costs no distance queries for ddl/arr/slack/
 // picked; distO/distD cost 2(n+1) queries when exact (Lemma 9) or zero
 // when filled with Euclidean lower bounds (decision phase, Lemma 7).
+//
+// The arrays are owned by the enclosing Scratch and reused across
+// requests (grown, never shrunk), which is what makes the steady-state
+// planning path allocation-free.
 type insCtx struct {
 	rt     *Route
 	kw     int
@@ -75,15 +79,16 @@ type insCtx struct {
 	picked []int
 }
 
-func newInsCtx(rt *Route, kw int, req *Request, L float64) *insCtx {
+// reset re-points the context at (rt, kw, req) and rebuilds the slack and
+// picked arrays in the reused buffers; distO/distD still need fillExact or
+// fillEuclid.
+func (c *insCtx) reset(rt *Route, kw int, req *Request, L float64) {
 	n := rt.Len()
-	c := &insCtx{
-		rt: rt, kw: kw, req: req, L: L, n: n,
-		distO:  make([]float64, n+1),
-		distD:  make([]float64, n+1),
-		slack:  make([]float64, n+1),
-		picked: make([]int, n+1),
-	}
+	c.rt, c.kw, c.req, c.L, c.n = rt, kw, req, L, n
+	c.distO = grown(c.distO, n+1)
+	c.distD = grown(c.distD, n+1)
+	c.slack = grown(c.slack, n+1)
+	c.picked = grown(c.picked, n+1)
 	// slack[k] = min_{k'>k} (ddl[k'] − arr[k']); slack[n] = +Inf (Eq. 8).
 	c.slack[n] = math.Inf(1)
 	for k := n - 1; k >= 0; k-- {
@@ -95,7 +100,6 @@ func newInsCtx(rt *Route, kw int, req *Request, L float64) *insCtx {
 	for k := 1; k <= n; k++ {
 		c.picked[k] = c.picked[k-1] + rt.Stops[k-1].loadDelta()
 	}
-	return c
 }
 
 // fillExact populates distO/distD with exact oracle distances: 2(n+1)
@@ -157,10 +161,12 @@ func (c *insCtx) feasibleEqual(k int, delta float64) bool {
 // delivery positions j once, maintaining Dio[j] = min_{i<j} det(l_i, o_r,
 // l_{i+1}) and its argmin Plc[j] via the DP of Eq. 11–12, and handles the
 // i = j special cases directly. L must be dis(o_r, d_r).
+//
+// This convenience form allocates a fresh context per call; planners use
+// Scratch.LinearDP, which reuses one arena across requests.
 func LinearDPInsertion(rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion {
-	c := newInsCtx(rt, kw, req, L)
-	c.fillExact(dist)
-	return linearDP(c)
+	var sc Scratch
+	return sc.LinearDP(rt, kw, req, L, dist)
 }
 
 // linearDP runs Algorithm 3 on a prepared context (exact or lower-bound
@@ -207,17 +213,22 @@ func linearDP(c *insCtx) Insertion {
 }
 
 // NaiveDPInsertion is Algorithm 2: enumerate all O(n²) position pairs but
-// check feasibility and compute Δ in O(1) via the auxiliary arrays.
+// check feasibility and compute Δ in O(1) via the auxiliary arrays. Like
+// LinearDPInsertion, this convenience form allocates; see Scratch.NaiveDP.
 func NaiveDPInsertion(rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion {
-	c := newInsCtx(rt, kw, req, L)
-	c.fillExact(dist)
+	var sc Scratch
+	return sc.NaiveDP(rt, kw, req, L, dist)
+}
+
+// naiveDP runs Algorithm 2 on a prepared context.
+func naiveDP(c *insCtx) Insertion {
 	best := Infeasible
-	kwFree := kw - req.Capacity
+	kwFree := c.kw - c.req.Capacity
 	for i := 0; i <= c.n; i++ {
 		// Lemma 4(1)-style prune: by the triangle inequality
 		// arr[i'] + dis(l_i', o_r) is non-decreasing in i', so once the
 		// pickup cannot meet e_r − L no later i can (Algorithm 2 line 4).
-		if c.rt.arrAt(i)+c.distO[i]+c.L > req.Deadline+feasEps {
+		if c.rt.arrAt(i)+c.distO[i]+c.L > c.req.Deadline+feasEps {
 			break
 		}
 		if c.picked[i] > kwFree { // Lemma 5(1) (Algorithm 2 line 5)
@@ -239,7 +250,7 @@ func NaiveDPInsertion(rt *Route, kw int, req *Request, L float64, dist DistFunc)
 			}
 			// Lemma 4(3): arrival at d_r. By the triangle inequality
 			// arr[j] + dis(l_j, d_r) is non-decreasing in j, so break.
-			if c.rt.arrAt(j)+d1+c.distD[j] > req.Deadline+feasEps {
+			if c.rt.arrAt(j)+d1+c.distD[j] > c.req.Deadline+feasEps {
 				break
 			}
 			delta := d1 + c.det2(j)
@@ -254,39 +265,34 @@ func NaiveDPInsertion(rt *Route, kw int, req *Request, L float64, dist DistFunc)
 // BasicInsertion is Algorithm 1: enumerate all O(n²) position pairs and
 // check each candidate route from scratch in O(n) time and O(n) distance
 // queries, for O(n³) total work. It is also the reference implementation
-// the DP variants are validated against.
+// the DP variants are validated against. See Scratch.Basic for the
+// buffer-reusing form the baselines run.
 func BasicInsertion(rt *Route, kw int, req *Request, dist DistFunc) Insertion {
-	best := Infeasible
-	n := rt.Len()
-	for i := 0; i <= n; i++ {
-		for j := i; j <= n; j++ {
-			delta, ok := simulateCandidate(rt, kw, req, i, j, dist)
-			if ok {
-				best.update(delta, i, j)
-			}
-		}
-	}
-	return best.clampNonNegative()
+	var sc Scratch
+	return sc.Basic(rt, kw, req, dist)
+}
+
+// visit is one stop of a candidate route walked by simulateCandidate.
+type visit struct {
+	vertex roadnet.VertexID
+	ddl    float64
+	load   int
 }
 
 // simulateCandidate walks the route that results from inserting o_r after
 // position i and d_r after position j, recomputing every arrival time with
 // fresh distance queries and checking every deadline and capacity
-// constraint. It returns the increased travel time.
-func simulateCandidate(rt *Route, kw int, req *Request, i, j int, dist DistFunc) (float64, bool) {
+// constraint. It returns the increased travel time. The visit sequence is
+// built in buf (reused across calls, returned for reuse).
+func simulateCandidate(buf []visit, rt *Route, kw int, req *Request, i, j int, dist DistFunc) ([]visit, float64, bool) {
 	n := rt.Len()
 	if i < 0 || j < i || j > n {
-		return 0, false
+		return buf, 0, false
 	}
 	if req.Capacity > kw {
-		return 0, false
+		return buf, 0, false
 	}
-	type visit struct {
-		vertex roadnet.VertexID
-		ddl    float64
-		load   int
-	}
-	seq := make([]visit, 0, n+2)
+	seq := buf[:0]
 	pickupDDL := req.Deadline - dist(req.Origin, req.Dest)
 	for k := 0; k < n; k++ {
 		if k == i {
@@ -314,22 +320,29 @@ func simulateCandidate(rt *Route, kw int, req *Request, i, j int, dist DistFunc)
 	for _, v := range seq {
 		t += dist(prev, v.vertex)
 		if t > v.ddl+feasEps {
-			return 0, false
+			return seq, 0, false
 		}
 		load += v.load
 		if load > kw {
-			return 0, false
+			return seq, 0, false
 		}
 		prev = v.vertex
 	}
 	oldEnd := rt.PlannedEnd()
-	return (t - rt.Now) - (oldEnd - rt.Now), true
+	return seq, (t - rt.Now) - (oldEnd - rt.Now), true
 }
 
 // Apply splices the chosen insertion into the route and updates the cached
 // arrival times incrementally with at most three extra distance queries
 // (plus the L the caller already has), per Lemma 9 / §5.3: dis(l_I, o_r),
 // dis(o_r, l_{I+1}) and dis(l_J, d_r) as needed.
+//
+// The splice is performed in place: the route's Stops/Arr arrays grow by
+// two and the tail is shifted, so a route allocates only when it outgrows
+// its backing arrays — never per accepted request in steady state. Routes
+// therefore own their backing arrays exclusively; holders of aliases into
+// rt.Stops/rt.Arr (none exist in this codebase — the simulator re-slices
+// forward, snapshots copy) must Clone first.
 func Apply(rt *Route, kw int, req *Request, ins Insertion, L float64, dist DistFunc) error {
 	if !ins.OK {
 		return fmt.Errorf("core: applying infeasible insertion")
@@ -344,39 +357,36 @@ func Apply(rt *Route, kw int, req *Request, ins Insertion, L float64, dist DistF
 	distLiOr := dist(rt.vertexAt(ins.I), req.Origin)
 	pickArr := rt.arrAt(ins.I) + distLiOr
 
-	newStops := make([]Stop, 0, n+2)
-	newArr := make([]float64, 0, n+2)
-
 	if ins.I == ins.J {
-		dropArr := pickArr + L
+		rt.Stops = append(rt.Stops, Stop{}, Stop{})
+		rt.Arr = append(rt.Arr, 0, 0)
+		stops, arr := rt.Stops, rt.Arr
 		// stops [0, I) unchanged; pickup; dropoff; stops [I, n) shifted Δ.
-		newStops = append(newStops, rt.Stops[:ins.I]...)
-		newArr = append(newArr, rt.Arr[:ins.I]...)
-		newStops = append(newStops, pickup, dropoff)
-		newArr = append(newArr, pickArr, dropArr)
-		for k := ins.I; k < n; k++ {
-			newStops = append(newStops, rt.Stops[k])
-			newArr = append(newArr, rt.Arr[k]+ins.Delta)
+		for k := n - 1; k >= ins.I; k-- {
+			stops[k+2] = stops[k]
+			arr[k+2] = arr[k] + ins.Delta
 		}
+		stops[ins.I], stops[ins.I+1] = pickup, dropoff
+		arr[ins.I], arr[ins.I+1] = pickArr, pickArr+L
 	} else {
+		// Both detour legs read pre-splice state; compute before shifting.
 		d1 := distLiOr + dist(req.Origin, rt.vertexAt(ins.I+1)) - rt.legDist(ins.I+1)
 		dropArr := rt.arrAt(ins.J) + d1 + dist(rt.vertexAt(ins.J), req.Dest)
-		newStops = append(newStops, rt.Stops[:ins.I]...)
-		newArr = append(newArr, rt.Arr[:ins.I]...)
-		newStops = append(newStops, pickup)
-		newArr = append(newArr, pickArr)
-		for k := ins.I; k < ins.J; k++ { // shifted by the pickup detour
-			newStops = append(newStops, rt.Stops[k])
-			newArr = append(newArr, rt.Arr[k]+d1)
+		rt.Stops = append(rt.Stops, Stop{}, Stop{})
+		rt.Arr = append(rt.Arr, 0, 0)
+		stops, arr := rt.Stops, rt.Arr
+		for k := n - 1; k >= ins.J; k-- { // shifted by the full Δ
+			stops[k+2] = stops[k]
+			arr[k+2] = arr[k] + ins.Delta
 		}
-		newStops = append(newStops, dropoff)
-		newArr = append(newArr, dropArr)
-		for k := ins.J; k < n; k++ { // shifted by the full Δ
-			newStops = append(newStops, rt.Stops[k])
-			newArr = append(newArr, rt.Arr[k]+ins.Delta)
+		stops[ins.J+1] = dropoff
+		arr[ins.J+1] = dropArr
+		for k := ins.J - 1; k >= ins.I; k-- { // shifted by the pickup detour
+			stops[k+1] = stops[k]
+			arr[k+1] = arr[k] + d1
 		}
+		stops[ins.I] = pickup
+		arr[ins.I] = pickArr
 	}
-	rt.Stops = newStops
-	rt.Arr = newArr
 	return nil
 }

@@ -183,7 +183,7 @@ func TestOperatorsAgree(t *testing.T) {
 		// The positions chosen by each operator must themselves be
 		// feasible and achieve the reported delta.
 		for name, ins := range map[string]Insertion{"naive": naive, "linear": linear} {
-			d, ok := simulateCandidate(&rt, kw, req, ins.I, ins.J, tw.dist)
+			_, d, ok := simulateCandidate(nil, &rt, kw, req, ins.I, ins.J, tw.dist)
 			if !ok {
 				t.Fatalf("trial %d: %s chose infeasible positions (%d,%d)", trial, name, ins.I, ins.J)
 			}

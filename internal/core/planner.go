@@ -39,8 +39,11 @@ type DeferredResult struct {
 }
 
 // InsertionFunc is the pluggable insertion operator of a greedy planner;
-// LinearDPInsertion is the paper's choice, the others enable ablations.
-type InsertionFunc func(rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion
+// (*Scratch).LinearDP is the paper's choice, the others enable ablations.
+// The operator runs on the caller-owned scratch arena so the planning
+// path stays allocation-free; method expressions on *Scratch have exactly
+// this signature.
+type InsertionFunc func(sc *Scratch, rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion
 
 // Config parameterizes the greedy planners.
 type Config struct {
@@ -55,7 +58,7 @@ type Config struct {
 	// check; PostCheck is the natural strengthening and is on by default
 	// (see DESIGN.md §6). Set it false for strictly-paper behavior.
 	PostCheck bool
-	// Insertion is the insertion operator; nil means LinearDPInsertion.
+	// Insertion is the insertion operator; nil means (*Scratch).LinearDP.
 	Insertion InsertionFunc
 }
 
@@ -63,10 +66,18 @@ type Config struct {
 // Euclidean lower bounds and a planning phase that inserts the request
 // into the best worker. With Prune on it is pruneGreedyDP (Algorithm 5);
 // off it is the GreedyDP ablation.
+//
+// Each planner owns one Scratch arena, reused across requests: after a
+// short warm-up, steady-state Plan calls perform zero heap allocations.
+// Consequently a Greedy instance is NOT safe for concurrent use — not
+// even for the otherwise read-only Plan (the scratch guard panics if two
+// goroutines try). Use internal/dispatch's ParallelGreedy, which draws
+// scratches from a pool, when Plan must be called concurrently.
 type Greedy struct {
 	fleet *Fleet
 	cfg   Config
 	name  string
+	sc    Scratch
 }
 
 // NewPruneGreedyDP returns the paper's pruneGreedyDP planner.
@@ -82,7 +93,7 @@ func NewGreedyDP(fleet *Fleet, alpha float64) *Greedy {
 // NewGreedy returns a greedy planner with full configuration control.
 func NewGreedy(fleet *Fleet, cfg Config, name string) *Greedy {
 	if cfg.Insertion == nil {
-		cfg.Insertion = LinearDPInsertion
+		cfg.Insertion = (*Scratch).LinearDP
 	}
 	return &Greedy{fleet: fleet, cfg: cfg, name: name}
 }
@@ -112,13 +123,13 @@ func (p *Greedy) Plan(now float64, req *Request) (*Worker, Insertion, float64) {
 	f := p.fleet
 	L := f.Dist(req.Origin, req.Dest) // the decision phase's one query
 
-	cands := f.Candidates(req, now, L)
+	cands := p.sc.Candidates(f, req, now, L)
 	if len(cands) == 0 {
 		return nil, Infeasible, L
 	}
 
 	// Phase 1: decision (Algorithm 4).
-	lbs, reject := Decide(p.cfg.Alpha, cands, req, f.Graph, L)
+	lbs, reject := p.sc.Decide(p.cfg.Alpha, cands, req, f.Graph, L)
 	if reject {
 		return nil, Infeasible, L
 	}
@@ -131,7 +142,7 @@ func (p *Greedy) Plan(now float64, req *Request) (*Worker, Insertion, float64) {
 	if p.cfg.Prune {
 		SortWorkerBounds(lbs)
 	}
-	bestW, bestIns := EvalCandidatesSerial(p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist)
+	bestW, bestIns := EvalCandidatesSerial(&p.sc, p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist)
 	if bestW == nil {
 		return nil, Infeasible, L
 	}

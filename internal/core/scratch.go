@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/roadnet"
+)
+
+// Scratch is the reusable planning arena of one planner (or of one
+// planning goroutine in the parallel dispatcher): every buffer the
+// steady-state Plan path needs, grown on demand and never shrunk, so that
+// after a short warm-up the whole decision + planning pipeline — the
+// paper's measured response time — runs without a single heap allocation.
+//
+// Ownership rule: a Scratch belongs to exactly one goroutine at a time.
+// The insertion-context buffers inside it are live for the duration of
+// one operator call (LinearDP, NaiveDP, Basic, LowerBound), and the
+// candidate/bound slices returned by Decide alias the scratch until its
+// next use. Sharing one Scratch across concurrent scans therefore
+// corrupts the §4.3 auxiliary arrays mid-computation; every entry point
+// asserts single ownership with an atomic guard and panics on concurrent
+// use (see also the race suite in internal/dispatch). The zero value is
+// ready to use.
+type Scratch struct {
+	busy  atomic.Bool
+	ctx   insCtx
+	lbs   []WorkerBound
+	cands []*Worker
+	seq   []visit // BasicInsertion's candidate-route walk buffer
+}
+
+// acquire asserts exclusive ownership for the duration of one operator
+// call. It is deliberately kept on the hot path: two atomic operations per
+// candidate are noise next to an O(n) insertion, and they turn the
+// worst kind of concurrency bug — silently corrupted auxiliary arrays
+// producing plausible wrong plans — into an immediate panic.
+func (sc *Scratch) acquire() {
+	if !sc.busy.CompareAndSwap(false, true) {
+		panic("core: Scratch used by concurrent scans; give each goroutine its own")
+	}
+}
+
+func (sc *Scratch) release() { sc.busy.Store(false) }
+
+// grown returns s with length n, reusing capacity and over-allocating on
+// growth so steady-state route lengths stop triggering reallocation.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n, n+n/2+8)
+	}
+	return s[:n]
+}
+
+// LinearDP is Algorithm 3 (the paper's O(n) insertion) on this scratch's
+// buffers: zero allocations once the arena has grown to the route length.
+// It computes exactly LinearDPInsertion.
+func (sc *Scratch) LinearDP(rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion {
+	sc.acquire()
+	defer sc.release()
+	c := &sc.ctx
+	c.reset(rt, kw, req, L)
+	c.fillExact(dist)
+	return linearDP(c)
+}
+
+// NaiveDP is Algorithm 2 (O(n²) insertion) on this scratch's buffers; it
+// computes exactly NaiveDPInsertion.
+func (sc *Scratch) NaiveDP(rt *Route, kw int, req *Request, L float64, dist DistFunc) Insertion {
+	sc.acquire()
+	defer sc.release()
+	c := &sc.ctx
+	c.reset(rt, kw, req, L)
+	c.fillExact(dist)
+	return naiveDP(c)
+}
+
+// Basic is Algorithm 1 (O(n³) insertion) on this scratch's buffers; it
+// computes exactly BasicInsertion. The candidate-route walk reuses one
+// visit buffer instead of allocating per position pair.
+func (sc *Scratch) Basic(rt *Route, kw int, req *Request, dist DistFunc) Insertion {
+	sc.acquire()
+	defer sc.release()
+	best := Infeasible
+	n := rt.Len()
+	for i := 0; i <= n; i++ {
+		for j := i; j <= n; j++ {
+			var delta float64
+			var ok bool
+			sc.seq, delta, ok = simulateCandidate(sc.seq, rt, kw, req, i, j, dist)
+			if ok {
+				best.update(delta, i, j)
+			}
+		}
+	}
+	return best.clampNonNegative()
+}
+
+// LowerBound computes LBΔ* (Lemma 7) on this scratch's buffers; it
+// computes exactly LowerBoundInsertion.
+func (sc *Scratch) LowerBound(rt *Route, kw int, req *Request, g *roadnet.Graph, L float64) float64 {
+	sc.acquire()
+	defer sc.release()
+	return sc.lowerBound(rt, kw, req, g, L)
+}
+
+// lowerBound is LowerBound without the ownership guard, for callers that
+// already hold the scratch (Decide's candidate loop).
+func (sc *Scratch) lowerBound(rt *Route, kw int, req *Request, g *roadnet.Graph, L float64) float64 {
+	c := &sc.ctx
+	c.reset(rt, kw, req, L)
+	c.fillEuclid(g)
+	ins := linearDP(c)
+	if !ins.OK {
+		return math.Inf(1)
+	}
+	// Euclidean "detours" can be negative; the true Δ* is never below 0.
+	return math.Max(0, ins.Delta)
+}
+
+// Decide is Algorithm 4 on this scratch: compute LBΔ* for every candidate
+// worker and report whether the request should be rejected outright
+// because even the optimistic cost α·min LB exceeds the penalty. The
+// returned slice feeds the planning phase (it is not yet sorted;
+// pruneGreedyDP sorts it, GreedyDP does not need to) and aliases the
+// scratch — it is valid until the scratch's next Decide call.
+func (sc *Scratch) Decide(alpha float64, cands []*Worker, req *Request, g *roadnet.Graph, L float64) (lbs []WorkerBound, reject bool) {
+	sc.acquire()
+	defer sc.release()
+	lbs = sc.lbs[:0]
+	minLB := math.Inf(1)
+	for _, w := range cands {
+		lb := sc.lowerBound(&w.Route, w.Capacity, req, g, L)
+		if math.IsInf(lb, 1) {
+			continue // provably infeasible for this worker
+		}
+		lbs = append(lbs, WorkerBound{LB: lb, Worker: w})
+		if lb < minLB {
+			minLB = lb
+		}
+	}
+	sc.lbs = lbs // retain growth across requests
+	if len(lbs) == 0 {
+		return nil, true
+	}
+	// Reject when p_r < α·min LB (Algorithm 4 line 5): serving would
+	// increase the unified cost more than rejecting.
+	return lbs, req.Penalty < alpha*minLB
+}
+
+// Candidates retrieves the request's grid-filtered candidate workers into
+// this scratch's reusable buffer (valid until the next Candidates call).
+func (sc *Scratch) Candidates(f *Fleet, req *Request, now, L float64) []*Worker {
+	sc.acquire()
+	defer sc.release()
+	sc.cands = f.CandidatesAppend(sc.cands[:0], req, now, L)
+	return sc.cands
+}

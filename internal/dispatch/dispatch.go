@@ -62,12 +62,59 @@ const DefaultSerialCutoff = 16
 // ParallelGreedy is the parallel pruneGreedyDP/GreedyDP planner. It
 // implements core.Planner and is a drop-in replacement for core.Greedy
 // with identical outputs.
+//
+// Unlike core.Greedy — which owns a single scratch arena and is therefore
+// strictly single-threaded — ParallelGreedy draws its planning arenas
+// from a sync.Pool, so read-only Plan calls on one instance are safe from
+// any number of goroutines (OnRequest still mutates routes and needs
+// external ordering, as always).
 type ParallelGreedy struct {
 	fleet  *core.Fleet
 	cfg    core.Config
 	pool   int
 	cutoff int
 	name   string
+	arenas sync.Pool // of *planArena
+}
+
+// planArena bundles every reusable buffer one Plan call needs: the
+// coordinator scratch (candidate retrieval, serial fallback), the
+// decision-phase bound arrays, one insertion Scratch per planning
+// goroutine — NEVER shared across concurrent scans; core.Scratch asserts
+// that — and the merge slots for the per-goroutine local bests. Arenas
+// are pooled, grown on demand and never shrunk.
+type planArena struct {
+	sc     core.Scratch
+	bounds []float64
+	lbs    []core.WorkerBound
+	evals  []*core.Scratch
+	locals []localBest
+	bound  core.AtomicBound
+}
+
+// localBest is one goroutine's scan result before the deterministic merge.
+type localBest struct {
+	w   *core.Worker
+	ins core.Insertion
+}
+
+// evalScratches returns nw insertion arenas, allocating lazily so a
+// planner that never fans that wide never pays for them.
+func (a *planArena) evalScratches(nw int) []*core.Scratch {
+	for len(a.evals) < nw {
+		a.evals = append(a.evals, new(core.Scratch))
+	}
+	return a.evals[:nw]
+}
+
+// grown returns s with length n, reusing capacity and over-allocating on
+// growth (same policy as core's scratch buffers) so a slowly creeping
+// candidate count stops triggering per-request reallocation.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n, n+n/2+8)
+	}
+	return s[:n]
 }
 
 // NewParallelGreedy returns a parallel greedy planner with full
@@ -75,7 +122,7 @@ type ParallelGreedy struct {
 // core.LinearDPInsertion, like core.NewGreedy.
 func NewParallelGreedy(fleet *core.Fleet, cfg Config, name string) *ParallelGreedy {
 	if cfg.Plan.Insertion == nil {
-		cfg.Plan.Insertion = core.LinearDPInsertion
+		cfg.Plan.Insertion = (*core.Scratch).LinearDP
 	}
 	if cfg.Pool < 1 {
 		cfg.Pool = 1
@@ -83,13 +130,15 @@ func NewParallelGreedy(fleet *core.Fleet, cfg Config, name string) *ParallelGree
 	if cfg.SerialCutoff <= 0 {
 		cfg.SerialCutoff = DefaultSerialCutoff
 	}
-	return &ParallelGreedy{
+	p := &ParallelGreedy{
 		fleet:  fleet,
 		cfg:    cfg.Plan,
 		pool:   cfg.Pool,
 		cutoff: cfg.SerialCutoff,
 		name:   name,
 	}
+	p.arenas.New = func() any { return new(planArena) }
+	return p
 }
 
 // NewParallelPruneGreedyDP returns the parallel counterpart of the
@@ -137,9 +186,11 @@ func (p *ParallelGreedy) OnRequest(now float64, req *core.Request) core.Result {
 // state, for any pool size.
 func (p *ParallelGreedy) Plan(now float64, req *core.Request) (*core.Worker, core.Insertion, float64) {
 	f := p.fleet
+	a := p.arenas.Get().(*planArena)
+	defer p.arenas.Put(a)
 	L := f.Dist(req.Origin, req.Dest) // the decision phase's one query
 
-	cands := f.Candidates(req, now, L)
+	cands := a.sc.Candidates(f, req, now, L)
 	if len(cands) == 0 {
 		return nil, core.Infeasible, L
 	}
@@ -151,9 +202,9 @@ func (p *ParallelGreedy) Plan(now float64, req *core.Request) (*core.Worker, cor
 		reject bool
 	)
 	if parallel {
-		lbs, reject = p.parallelDecide(cands, req, L)
+		lbs, reject = p.parallelDecide(a, cands, req, L)
 	} else {
-		lbs, reject = core.Decide(p.cfg.Alpha, cands, req, f.Graph, L)
+		lbs, reject = a.sc.Decide(p.cfg.Alpha, cands, req, f.Graph, L)
 	}
 	if reject {
 		return nil, core.Infeasible, L
@@ -168,9 +219,9 @@ func (p *ParallelGreedy) Plan(now float64, req *core.Request) (*core.Worker, cor
 		bestIns core.Insertion
 	)
 	if parallel && len(lbs) > 1 {
-		bestW, bestIns = p.parallelEval(lbs, req, L)
+		bestW, bestIns = p.parallelEval(a, lbs, req, L)
 	} else {
-		bestW, bestIns = core.EvalCandidatesSerial(p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist)
+		bestW, bestIns = core.EvalCandidatesSerial(&a.sc, p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist)
 	}
 	if bestW == nil {
 		return nil, core.Infeasible, L
@@ -183,14 +234,17 @@ func (p *ParallelGreedy) Plan(now float64, req *core.Request) (*core.Worker, cor
 
 // parallelDecide computes LBΔ* for every candidate concurrently and
 // compacts the feasible ones in candidate order, replicating core.Decide
-// exactly: same slice order, same minimum, same reject decision.
-func (p *ParallelGreedy) parallelDecide(cands []*core.Worker, req *core.Request, L float64) ([]core.WorkerBound, bool) {
-	bounds := make([]float64, len(cands))
+// exactly: same slice order, same minimum, same reject decision. Each
+// goroutine computes bounds on its own arena scratch.
+func (p *ParallelGreedy) parallelDecide(a *planArena, cands []*core.Worker, req *core.Request, L float64) ([]core.WorkerBound, bool) {
+	a.bounds = grown(a.bounds, len(cands))
+	bounds := a.bounds
+	scratches := a.evalScratches(p.workersFor(len(cands)))
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	for g := 0; g < p.workersFor(len(cands)); g++ {
+	for g := 0; g < len(scratches); g++ {
 		wg.Add(1)
-		go func() {
+		go func(sc *core.Scratch) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1) - 1)
@@ -198,13 +252,13 @@ func (p *ParallelGreedy) parallelDecide(cands []*core.Worker, req *core.Request,
 					return
 				}
 				w := cands[i]
-				bounds[i] = core.LowerBoundInsertion(&w.Route, w.Capacity, req, p.fleet.Graph, L)
+				bounds[i] = sc.LowerBound(&w.Route, w.Capacity, req, p.fleet.Graph, L)
 			}
-		}()
+		}(scratches[g])
 	}
 	wg.Wait()
 
-	lbs := make([]core.WorkerBound, 0, len(cands))
+	lbs := a.lbs[:0]
 	minLB := math.Inf(1)
 	for i, lb := range bounds {
 		if math.IsInf(lb, 1) {
@@ -215,6 +269,7 @@ func (p *ParallelGreedy) parallelDecide(cands []*core.Worker, req *core.Request,
 			minLB = lb
 		}
 	}
+	a.lbs = lbs // retain growth across requests
 	if len(lbs) == 0 {
 		return nil, true
 	}
@@ -224,15 +279,17 @@ func (p *ParallelGreedy) parallelDecide(cands []*core.Worker, req *core.Request,
 
 // parallelEval scans the (sorted, when pruning) candidate list through a
 // shared cursor with a cooperatively shrunk Lemma 8 bound, then merges
-// the per-goroutine local bests deterministically.
-func (p *ParallelGreedy) parallelEval(lbs []core.WorkerBound, req *core.Request, L float64) (*core.Worker, core.Insertion) {
+// the per-goroutine local bests deterministically. The scans share lbs,
+// the bound and the cursor — but each one runs on its own arena scratch
+// (sharing one would corrupt the insertion contexts; core.Scratch panics
+// on the attempt).
+func (p *ParallelGreedy) parallelEval(a *planArena, lbs []core.WorkerBound, req *core.Request, L float64) (*core.Worker, core.Insertion) {
 	nw := p.workersFor(len(lbs))
-	type localBest struct {
-		w   *core.Worker
-		ins core.Insertion
-	}
-	locals := make([]localBest, nw)
-	bound := core.NewAtomicBound()
+	a.locals = grown(a.locals, nw)
+	locals := a.locals
+	scratches := a.evalScratches(nw)
+	bound := &a.bound
+	bound.Reset()
 	var cursor atomic.Int64
 	next := func() int { return int(cursor.Add(1) - 1) }
 	var wg sync.WaitGroup
@@ -240,7 +297,7 @@ func (p *ParallelGreedy) parallelEval(lbs []core.WorkerBound, req *core.Request,
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			w, ins := core.EvalCandidates(p.cfg.Insertion, p.cfg.Prune, lbs, req, L, p.fleet.Dist, bound, next)
+			w, ins := core.EvalCandidates(scratches[slot], p.cfg.Insertion, p.cfg.Prune, lbs, req, L, p.fleet.Dist, bound, next)
 			locals[slot] = localBest{w: w, ins: ins}
 		}(g)
 	}

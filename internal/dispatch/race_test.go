@@ -93,6 +93,59 @@ func TestConcurrentCandidates(t *testing.T) {
 	writer.Wait()
 }
 
+// TestConcurrentPlanScratchIsolation pins the scratch-arena ownership
+// contract: concurrent Plan calls on ONE ParallelGreedy draw their arenas
+// from a pool, so no insertion context is ever shared across scans —
+// core.Scratch panics (and -race flags the buffer writes) if that breaks.
+// Decisions must also stay bit-identical to a sequential pass over the
+// same frozen fleet, proving the arenas carry no cross-request state.
+func TestConcurrentPlanScratchIsolation(t *testing.T) {
+	s := makeScenario(81)
+	s.pool = 4
+	s.prune = true
+	fleet, reqs, _ := s.build(t, true)
+	planner := s.parallelPlanner(fleet)
+	if len(reqs) > 64 {
+		reqs = reqs[:64]
+	}
+
+	// Sequential reference pass (planning is read-only on the fleet).
+	type outcome struct {
+		w     core.WorkerID
+		ok    bool
+		delta float64
+	}
+	want := make([]outcome, len(reqs))
+	for i, r := range reqs {
+		w, ins, _ := planner.Plan(r.Release, r)
+		if w != nil {
+			want[i] = outcome{w: w.ID, ok: true, delta: ins.Delta}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := range reqs {
+				k := (seed*13 + i) % len(reqs)
+				r := reqs[k]
+				w, ins, _ := planner.Plan(r.Release, r)
+				got := outcome{}
+				if w != nil {
+					got = outcome{w: w.ID, ok: true, delta: ins.Delta}
+				}
+				if got != want[k] {
+					t.Errorf("request %d: concurrent plan %+v != sequential %+v", r.ID, got, want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
 // TestConcurrentPlanCalls runs many read-only Plan calls on one frozen
 // fleet state concurrently — planning never mutates routes, so this must
 // be race-free by construction.

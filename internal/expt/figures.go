@@ -215,6 +215,7 @@ func InsertionScaling(lengths []int, reps int) ([]InsertionScalingPoint, error) 
 	}
 	m := shortest.NewMatrix(g)
 	var out []InsertionScalingPoint
+	var sc core.Scratch // warmed arena: time the operators as the planners run them
 	for _, n := range lengths {
 		rt, req, err := syntheticLongRoute(m.Dist, n)
 		if err != nil {
@@ -222,9 +223,9 @@ func InsertionScaling(lengths []int, reps int) ([]InsertionScalingPoint, error) 
 		}
 		L := m.Dist(req.Origin, req.Dest)
 		pt := InsertionScalingPoint{N: n}
-		pt.BasicNs = timeOp(reps, func() { core.BasicInsertion(rt, 1<<30, req, m.Dist) })
-		pt.NaiveNs = timeOp(reps, func() { core.NaiveDPInsertion(rt, 1<<30, req, L, m.Dist) })
-		pt.LinearNs = timeOp(reps, func() { core.LinearDPInsertion(rt, 1<<30, req, L, m.Dist) })
+		pt.BasicNs = timeOp(reps, func() { sc.Basic(rt, 1<<30, req, m.Dist) })
+		pt.NaiveNs = timeOp(reps, func() { sc.NaiveDP(rt, 1<<30, req, L, m.Dist) })
+		pt.LinearNs = timeOp(reps, func() { sc.LinearDP(rt, 1<<30, req, L, m.Dist) })
 		out = append(out, pt)
 	}
 	return out, nil

@@ -268,15 +268,15 @@ func (r *Runner) runWith(inst *workload.Instance, algo string, dist core.DistFun
 		// insertion as the planning operator.
 		planner = core.NewGreedy(fleet, core.Config{
 			Alpha: 1, Prune: true, PostCheck: true,
-			Insertion: func(rt *core.Route, kw int, req *core.Request, _ float64, dist core.DistFunc) core.Insertion {
-				return core.BasicInsertion(rt, kw, req, dist)
+			Insertion: func(sc *core.Scratch, rt *core.Route, kw int, req *core.Request, _ float64, dist core.DistFunc) core.Insertion {
+				return sc.Basic(rt, kw, req, dist)
 			},
 		}, "pruneGreedyBasic")
 	case "pruneGreedyNaive":
 		// Ablation: the O(n²) naive DP insertion as the planning operator.
 		planner = core.NewGreedy(fleet, core.Config{
 			Alpha: 1, Prune: true, PostCheck: true,
-			Insertion: core.NaiveDPInsertion,
+			Insertion: (*core.Scratch).NaiveDP,
 		}, "pruneGreedyNaive")
 	case "pruneGreedyDP+improve":
 		// Extension: post-insertion remove-and-reinsert local search.

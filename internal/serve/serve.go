@@ -129,8 +129,8 @@ type Server struct {
 	simTime float64
 	// simTimeBits mirrors simTime (float64 bits) for lock-free reads on
 	// the admission path; flush is the only writer.
-	simTimeBits atomic.Uint64
-	accepted    int
+	simTimeBits    atomic.Uint64
+	accepted       int
 	rejected       int
 	penaltySum     float64
 	batches        int

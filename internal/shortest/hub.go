@@ -1,7 +1,7 @@
 package shortest
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/pqueue"
 	"repro/internal/roadnet"
@@ -18,24 +18,41 @@ import (
 // for grid-like city networks we order vertices by closeness to the map
 // center (central vertices hit the most shortest paths), tie-broken by
 // degree. Labels are exact: Query(u,v) equals the true shortest distance.
+//
+// Labels are stored in CSR (compressed sparse row) form: vertex v's label
+// occupies hubs[offsets[v]:offsets[v+1]] (hub ranks, strictly increasing)
+// and dists[offsets[v]:offsets[v+1]] in parallel. The flat layout makes
+// Dist — the innermost operation of every planner, called millions of
+// times per sweep — a merge over two contiguous spans with no per-vertex
+// pointer chasing, and it allocates nothing.
 type HubLabels struct {
-	n int
-	// Per-vertex labels, hubs strictly increasing by rank.
+	n       int
+	offsets []int32
+	hubs    []int32
+	dists   []float64
+}
+
+// nestedLabels is the construction-time layout: per-vertex slices that can
+// grow independently while the pruned Dijkstras append labels. It is kept
+// as a separate type (rather than flattening on the fly) so the CSR
+// flattening can be equivalence-tested against it.
+type nestedLabels struct {
 	hubRank [][]int32
 	hubDist [][]float64
 }
 
 // BuildHubLabels constructs the labeling. It is deterministic.
 func BuildHubLabels(g *roadnet.Graph) *HubLabels {
+	return buildNestedLabels(g).flatten()
+}
+
+// buildNestedLabels runs the pruned landmark labeling into the nested
+// construction layout.
+func buildNestedLabels(g *roadnet.Graph) *nestedLabels {
 	n := g.NumVertices()
 	order := hubOrder(g)
-	rankOf := make([]int32, n)
-	for r, v := range order {
-		rankOf[v] = int32(r)
-	}
 
-	h := &HubLabels{
-		n:       n,
+	nl := &nestedLabels{
 		hubRank: make([][]int32, n),
 		hubDist: make([][]float64, n),
 	}
@@ -54,8 +71,8 @@ func BuildHubLabels(g *roadnet.Graph) *HubLabels {
 
 	for rank, root := range order {
 		// Load root's labels into rootLabel for O(1) lookups.
-		for i, hr := range h.hubRank[root] {
-			rootLabel[hr] = h.hubDist[root][i]
+		for i, hr := range nl.hubRank[root] {
+			rootLabel[hr] = nl.hubDist[root][i]
 		}
 		cur++
 		heap.Reset()
@@ -68,8 +85,8 @@ func BuildHubLabels(g *roadnet.Graph) *HubLabels {
 			// ≤ dv between root and v, v (and everything behind it)
 			// doesn't need root as a hub.
 			pruned := false
-			hr := h.hubRank[v]
-			hd := h.hubDist[v]
+			hr := nl.hubRank[v]
+			hd := nl.hubDist[v]
 			for i, r := range hr {
 				if d := rootLabel[r]; d >= 0 && d+hd[i] <= dv {
 					pruned = true
@@ -79,8 +96,8 @@ func BuildHubLabels(g *roadnet.Graph) *HubLabels {
 			if pruned {
 				continue
 			}
-			h.hubRank[v] = append(h.hubRank[v], int32(rank))
-			h.hubDist[v] = append(h.hubDist[v], dv)
+			nl.hubRank[v] = append(nl.hubRank[v], int32(rank))
+			nl.hubDist[v] = append(nl.hubDist[v], dv)
 			to, cost := g.Arcs(v)
 			for i, u := range to {
 				du := dv + cost[i]
@@ -92,44 +109,45 @@ func BuildHubLabels(g *roadnet.Graph) *HubLabels {
 			}
 		}
 		// Unload root labels.
-		for _, hr := range h.hubRank[root] {
+		for _, hr := range nl.hubRank[root] {
 			rootLabel[hr] = -1
 		}
 	}
+	return nl
+}
+
+// flatten packs the nested labels into the contiguous CSR arrays. Label
+// order within a vertex is preserved (strictly increasing hub rank), so
+// flat and nested queries merge identical sequences.
+func (nl *nestedLabels) flatten() *HubLabels {
+	n := len(nl.hubRank)
+	total := 0
+	for _, l := range nl.hubRank {
+		total += len(l)
+	}
+	h := &HubLabels{
+		n:       n,
+		offsets: make([]int32, n+1),
+		hubs:    make([]int32, 0, total),
+		dists:   make([]float64, 0, total),
+	}
+	for v := 0; v < n; v++ {
+		h.offsets[v] = int32(len(h.hubs))
+		h.hubs = append(h.hubs, nl.hubRank[v]...)
+		h.dists = append(h.dists, nl.hubDist[v]...)
+	}
+	h.offsets[n] = int32(len(h.hubs))
 	return h
 }
 
-// hubOrder returns vertices sorted by decreasing expected "hub usefulness":
-// closeness to the network center first, then degree.
-func hubOrder(g *roadnet.Graph) []roadnet.VertexID {
-	n := g.NumVertices()
-	center := g.Bounds().Center()
-	order := make([]roadnet.VertexID, n)
-	for i := range order {
-		order[i] = roadnet.VertexID(i)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		di := g.Point(order[i]).DistSq(center)
-		dj := g.Point(order[j]).DistSq(center)
-		if di != dj {
-			return di < dj
-		}
-		gi, gj := g.Degree(order[i]), g.Degree(order[j])
-		if gi != gj {
-			return gi > gj
-		}
-		return order[i] < order[j]
-	})
-	return order
-}
-
-// Dist implements Oracle: exact shortest travel time, +Inf if disconnected.
-func (h *HubLabels) Dist(s, t roadnet.VertexID) float64 {
+// dist is the reference nested-layout query the CSR layout is
+// equivalence-tested against (same merge, pointer-chased storage).
+func (nl *nestedLabels) dist(s, t roadnet.VertexID) float64 {
 	if s == t {
 		return 0
 	}
-	ra, da := h.hubRank[s], h.hubDist[s]
-	rb, db := h.hubRank[t], h.hubDist[t]
+	ra, da := nl.hubRank[s], nl.hubDist[s]
+	rb, db := nl.hubRank[t], nl.hubDist[t]
 	best := Inf
 	i, j := 0, 0
 	for i < len(ra) && j < len(rb) {
@@ -149,21 +167,73 @@ func (h *HubLabels) Dist(s, t roadnet.VertexID) float64 {
 	return best
 }
 
+// hubOrder returns vertices sorted by decreasing expected "hub usefulness":
+// closeness to the network center first, then degree. The comparator is a
+// total order (vertex ID breaks all ties), so the result is unique no
+// matter which sort algorithm produces it.
+func hubOrder(g *roadnet.Graph) []roadnet.VertexID {
+	n := g.NumVertices()
+	center := g.Bounds().Center()
+	order := make([]roadnet.VertexID, n)
+	for i := range order {
+		order[i] = roadnet.VertexID(i)
+	}
+	slices.SortFunc(order, func(a, b roadnet.VertexID) int {
+		da := g.Point(a).DistSq(center)
+		db := g.Point(b).DistSq(center)
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		}
+		ga, gb := g.Degree(a), g.Degree(b)
+		switch {
+		case ga > gb:
+			return -1
+		case ga < gb:
+			return 1
+		}
+		return int(a - b)
+	})
+	return order
+}
+
+// Dist implements Oracle: exact shortest travel time, +Inf if disconnected.
+// It is a branch-light merge over two contiguous CSR spans and performs no
+// allocations; being read-only after construction it is safe for any
+// number of concurrent callers.
+func (h *HubLabels) Dist(s, t roadnet.VertexID) float64 {
+	if s == t {
+		return 0
+	}
+	i, ie := h.offsets[s], h.offsets[s+1]
+	j, je := h.offsets[t], h.offsets[t+1]
+	best := Inf
+	for i < ie && j < je {
+		a, b := h.hubs[i], h.hubs[j]
+		if a == b {
+			if d := h.dists[i] + h.dists[j]; d < best {
+				best = d
+			}
+			i++
+			j++
+		} else if a < b {
+			i++
+		} else {
+			j++
+		}
+	}
+	return best
+}
+
 // AvgLabelSize returns the mean number of hubs per vertex, a standard
 // quality measure for labelings.
 func (h *HubLabels) AvgLabelSize() float64 {
-	total := 0
-	for _, l := range h.hubRank {
-		total += len(l)
-	}
-	return float64(total) / float64(h.n)
+	return float64(len(h.hubs)) / float64(h.n)
 }
 
 // MemoryBytes approximates the labeling's memory footprint.
 func (h *HubLabels) MemoryBytes() int64 {
-	total := int64(0)
-	for i := range h.hubRank {
-		total += int64(len(h.hubRank[i]))*4 + int64(len(h.hubDist[i]))*8
-	}
-	return total
+	return int64(len(h.offsets))*4 + int64(len(h.hubs))*4 + int64(len(h.dists))*8
 }

@@ -11,12 +11,13 @@ import (
 
 // workerState tracks the current leg (vertex path) of one worker.
 type workerState struct {
-	w     *core.Worker
-	path  []roadnet.VertexID // Loc → Stops[0].Vertex along a shortest path
-	times []float64          // absolute arrival time at each path vertex
-	idx   int                // current position: w.Route.Loc == path[idx]
-	dirty bool               // first leg changed; path must be recomputed
-	rides int                // distinct requests currently on board
+	w        *core.Worker
+	path     []roadnet.VertexID // Loc → Stops[0].Vertex along a shortest path
+	times    []float64          // absolute arrival time at each path vertex
+	selfPath []roadnet.VertexID // reusable 1-vertex leg for Loc == target
+	idx      int                // current position: w.Route.Loc == path[idx]
+	dirty    bool               // first leg changed; path must be recomputed
+	rides    int                // distinct requests currently on board
 }
 
 // World owns the live platform state shared by the offline simulator and
@@ -205,13 +206,23 @@ func loadDelta(s core.Stop) int {
 
 // computeLeg finds the vertex path of the worker's first leg and its
 // per-vertex arrival times, normalizing the final time to the cached
-// arrival so float drift cannot accumulate.
+// arrival so float drift cannot accumulate. The times buffer (and the
+// trivial self-leg) are reused across legs; only the path engine's own
+// result is freshly allocated per leg.
 func (wd *World) computeLeg(ws *workerState) {
 	rt := &ws.w.Route
 	target := rt.Stops[0].Vertex
 	if rt.Loc == target {
-		ws.path = []roadnet.VertexID{rt.Loc}
-		ws.times = []float64{rt.Now}
+		if ws.selfPath == nil {
+			ws.selfPath = make([]roadnet.VertexID, 1)
+		}
+		ws.selfPath[0] = rt.Loc
+		ws.path = ws.selfPath
+		if cap(ws.times) < 1 {
+			ws.times = make([]float64, 1)
+		}
+		ws.times = ws.times[:1]
+		ws.times[0] = rt.Now
 		ws.idx = 0
 		ws.dirty = false
 		return
@@ -221,7 +232,12 @@ func (wd *World) computeLeg(ws *workerState) {
 		panic(fmt.Sprintf("sim: no path from %d to %d on a connected network", rt.Loc, target))
 	}
 	wd.legsComputed++
-	times := make([]float64, len(path))
+	times := ws.times
+	if cap(times) < len(path) {
+		times = make([]float64, len(path))
+	} else {
+		times = times[:len(path)]
+	}
 	times[0] = rt.Now
 	for k := 1; k < len(path); k++ {
 		c, ok := wd.Fleet.Graph.EdgeCost(path[k-1], path[k])

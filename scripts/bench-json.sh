@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench-json.sh — run the headline benchmarks and append one labeled run
+# to a JSON benchmark-trajectory artifact (see cmd/benchjson).
+#
+#   scripts/bench-json.sh                         # 100x run -> BENCH_PR4.json, label = short commit
+#   scripts/bench-json.sh -t 1x -o /tmp/b.json    # CI smoke: one iteration per benchmark
+#   scripts/bench-json.sh -l post-PR4             # explicit label
+#   scripts/bench-json.sh -b 'BenchmarkPruningAblation'  # subset
+#
+# The headline set covers the perf surfaces this repo tracks: the Lemma 8
+# pruning ablation (dist-queries), parallel planning throughput
+# (speedup-vs-serial), the §4 insertion-operator scaling, the oracle
+# ablation, and the decision-phase lower bound. -benchmem is always on so
+# allocs/op regressions are recorded in the artifact.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound'
+BENCHTIME=100x
+OUT=BENCH_PR4.json
+LABEL=""
+
+while getopts "b:t:o:l:h" opt; do
+  case $opt in
+    b) BENCH=$OPTARG ;;
+    t) BENCHTIME=$OPTARG ;;
+    o) OUT=$OPTARG ;;
+    l) LABEL=$OPTARG ;;
+    h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) exit 2 ;;
+  esac
+done
+
+if [ -z "$LABEL" ]; then
+  LABEL=$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "bench-json: running '$BENCH' at -benchtime $BENCHTIME ..." >&2
+go test -run xxx -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+go run ./cmd/benchjson -label "$LABEL" -benchtime "$BENCHTIME" -out "$OUT" < "$RAW"
+echo "bench-json: appended run '$LABEL' to $OUT" >&2
