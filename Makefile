@@ -24,10 +24,10 @@ bench-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Headline benchmarks -> JSON trajectory artifact (BENCH_PR4.json).
+# Headline benchmarks -> JSON trajectory artifact (BENCH_PR5.json).
 # Override: make bench-json BENCHTIME=1x BENCHOUT=/tmp/bench.json
 BENCHTIME ?= 100x
-BENCHOUT ?= BENCH_PR4.json
+BENCHOUT ?= BENCH_PR5.json
 bench-json:
 	./scripts/bench-json.sh -t $(BENCHTIME) -o $(BENCHOUT)
 
@@ -36,11 +36,12 @@ golden:
 	$(GO) test ./internal/expt -run Golden -update
 
 # Short fuzz pass over the untrusted-input parsers (roadnet text, DIMACS,
-# workload stream, trip CSV, serve snapshot + request bodies). `go test`
-# alone replays only the seed corpus.
+# traffic profiles, workload stream, trip CSV, serve snapshot + request
+# bodies). `go test` alone replays only the seed corpus.
 fuzz:
 	$(GO) test -fuzz FuzzRead$$ -fuzztime 10s ./internal/roadnet
 	$(GO) test -fuzz FuzzLoadDIMACS -fuzztime 10s ./internal/roadnet
+	$(GO) test -fuzz FuzzReadTrafficProfile -fuzztime 10s ./internal/roadnet
 	$(GO) test -fuzz FuzzReadStream -fuzztime 10s ./internal/workload
 	$(GO) test -fuzz FuzzReadTripCSV -fuzztime 10s ./internal/workload
 	$(GO) test -run xxx -fuzz FuzzReadSnapshot -fuzztime 10s ./internal/serve

@@ -389,6 +389,64 @@ func BenchmarkParallelPlanning(b *testing.B) {
 
 // BenchmarkDecisionLowerBound measures the zero-query Lemma 7 bound in
 // isolation: it must stay linear in route length and allocation-light.
+// BenchmarkDistUnderRebuild measures point-to-point query latency through
+// the epoch-aware oracle front in its two steady states: tier (the
+// preprocessed hub labels answer) and rebuild (an epoch just advanced and
+// the live bidirectional-Dijkstra tier answers while hub labels rebuild
+// asynchronously). The gap between the two is the price of a traffic
+// update until the rebuild lands — the latency the serve layer's
+// urpsm_oracle_rebuild_seconds gauge bounds the duration of.
+func BenchmarkDistUnderRebuild(b *testing.B) {
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 40, Cols: 40, Spacing: 150, Jitter: 0.2, ArterialEvery: 5,
+		MotorwayRing: true, DetourMin: 1.05, DetourMax: 1.3, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget := shortest.AutoBudget{MaxHubVertices: g.NumVertices(), MaxCHVertices: g.NumVertices()}
+	n := g.NumVertices()
+	pairs := make([][2]roadnet.VertexID, 256)
+	for i := range pairs {
+		pairs[i] = [2]roadnet.VertexID{roadnet.VertexID(i * 7 % n), roadnet.VertexID(i * 13 % n)}
+	}
+
+	b.Run("tier=hub", func(b *testing.B) {
+		v := shortest.NewVersioned(g, budget, true)
+		v.WaitRebuild()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			v.Dist(p[0], p[1])
+		}
+	})
+	b.Run("tier=live-during-rebuild", func(b *testing.B) {
+		// Advance to a fresh epoch per outer iteration batch and query
+		// before the rebuild completes; WaitRebuild is never called inside
+		// the timed region, so the hub tier practically never answers.
+		overlay := roadnet.NewOverlay(g)
+		v := shortest.NewVersioned(g, budget, true)
+		v.WaitRebuild()
+		cur, epoch, _, err := overlay.Apply([]roadnet.TrafficUpdate{{Factor: 1.5}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%4096 == 0 {
+				b.StopTimer()
+				v.WaitRebuild() // don't stack rebuild goroutines
+				v.Advance(cur, epoch)
+				b.StartTimer()
+			}
+			p := pairs[i%len(pairs)]
+			v.Dist(p[0], p[1])
+		}
+		b.StopTimer()
+		v.WaitRebuild()
+	})
+}
+
 func BenchmarkDecisionLowerBound(b *testing.B) {
 	g, err := roadnet.Generate(roadnet.GenConfig{
 		Rows: 20, Cols: 20, Spacing: 150, Jitter: 0.2, ArterialEvery: 5,

@@ -48,6 +48,7 @@ func main() {
 	var (
 		netFile  = flag.String("net", "", "road-network file (required)")
 		loadFile = flag.String("load", "", "workload file with the requests to replay (required)")
+		traffic  = flag.String("traffic", "", "traffic profile (urpsm-traffic format) injected via POST /v1/traffic on the trace's schedule")
 		addr     = flag.String("addr", "127.0.0.1:8650", "server address (host:port or URL)")
 		oracle   = cliutil.OracleFlag("auto")
 		speedup  = flag.Float64("speedup", 0, "replay speed: 0 = as fast as possible, S = trace time compressed by S")
@@ -59,7 +60,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 	)
 	flag.Parse()
-	if err := run(*netFile, *loadFile, *addr, *oracle, *speedup, *n, *parallel,
+	if err := run(*netFile, *loadFile, *traffic, *addr, *oracle, *speedup, *n, *parallel,
 		*alpha, *wait, *timeout, *lockstep); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-replay:", err)
 		os.Exit(1)
@@ -73,7 +74,7 @@ type outcome struct {
 	httpErr error
 }
 
-func run(netFile, loadFile, addr, oracleKind string, speedup float64, n, parallel int,
+func run(netFile, loadFile, trafficFile, addr, oracleKind string, speedup float64, n, parallel int,
 	alpha float64, wait, timeout time.Duration, lockstep bool) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load are required")
@@ -117,6 +118,34 @@ func run(netFile, loadFile, addr, oracleKind string, speedup float64, n, paralle
 		return fmt.Errorf("no requests to replay")
 	}
 
+	// An injected traffic profile follows the engine's timeline rule: an
+	// event fires before the first request released at or after its time.
+	// Events dated after the last request could not influence any
+	// decision, so they are dropped from both sides of the comparison.
+	var profile *roadnet.TrafficProfile
+	if trafficFile != "" {
+		tf, err := os.Open(trafficFile)
+		if err != nil {
+			return err
+		}
+		profile, err = roadnet.ReadTrafficProfile(tf, g)
+		tf.Close()
+		if err != nil {
+			return err
+		}
+		lastRelease := reqs[len(reqs)-1].Release
+		kept := profile.Events[:0]
+		for _, e := range profile.Events {
+			if e.At <= lastRelease {
+				kept = append(kept, e)
+			}
+		}
+		if dropped := len(profile.Events) - len(kept); dropped > 0 {
+			fmt.Printf("traffic: dropping %d event(s) dated after the last request\n", dropped)
+		}
+		profile.Events = kept
+	}
+
 	client := &http.Client{Timeout: timeout}
 	if err := waitReady(client, base, wait); err != nil {
 		return err
@@ -127,9 +156,9 @@ func run(netFile, loadFile, addr, oracleKind string, speedup float64, n, paralle
 	start := time.Now()
 	var outcomes []outcome
 	if lockstep {
-		outcomes, err = replaySequential(client, base, reqs)
+		outcomes, err = replaySequential(client, base, reqs, profile)
 	} else {
-		outcomes, err = replayPaced(client, base, reqs, speedup)
+		outcomes, err = replayPaced(client, base, reqs, profile, speedup)
 	}
 	if err != nil {
 		return err
@@ -167,7 +196,7 @@ func run(netFile, loadFile, addr, oracleKind string, speedup float64, n, paralle
 		return err
 	}
 	offInst := &workload.Instance{Graph: g, Workers: inst.Workers, Requests: reqs}
-	want, _, err := serve.OfflineDecisions(g, offInst, oracle, resolved, alpha, parallel)
+	want, _, err := serve.OfflineDecisions(g, offInst, oracle, resolved, alpha, parallel, profile)
 	if err != nil {
 		return err
 	}
@@ -252,11 +281,48 @@ func send(client *http.Client, base string, r *core.Request) outcome {
 	return outcome{d: d, rttMs: float64(time.Since(start).Nanoseconds()) / 1e6}
 }
 
+// sendTraffic posts one traffic event (at its trace time) and fails hard
+// on rejection: a half-injected profile would silently void the
+// equivalence comparison.
+func sendTraffic(client *http.Client, base string, e roadnet.TrafficEvent) error {
+	at := e.At
+	body, _ := json.Marshal(serve.TrafficRequest{At: &at, Updates: e.Updates})
+	resp, err := client.Post(base+"/v1/traffic", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("traffic event at %v: %w", e.At, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("traffic event at %v: status %d: %s", e.At, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var tr serve.TrafficResult
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return fmt.Errorf("traffic event at %v: %w", e.At, err)
+	}
+	fmt.Printf("traffic: epoch %d at t=%g (%d edges changed, %d stops infeasible)\n",
+		tr.Epoch, tr.SimTime, tr.ChangedEdges, tr.InfeasibleStops)
+	return nil
+}
+
 // replaySequential sends each request only after the previous decision
-// arrived, pinning the server's processing order for -lockstep.
-func replaySequential(client *http.Client, base string, reqs []*core.Request) ([]outcome, error) {
+// arrived, pinning the server's processing order for -lockstep. Traffic
+// events are injected before the first request released at or after
+// their time — exactly when the offline engine's timeline applies them.
+func replaySequential(client *http.Client, base string, reqs []*core.Request, profile *roadnet.TrafficProfile) ([]outcome, error) {
 	outcomes := make([]outcome, 0, len(reqs))
+	next := 0
+	var events []roadnet.TrafficEvent
+	if profile != nil {
+		events = profile.Events
+	}
 	for _, r := range reqs {
+		for next < len(events) && events[next].At <= r.Release {
+			if err := sendTraffic(client, base, events[next]); err != nil {
+				return nil, err
+			}
+			next++
+		}
 		o := send(client, base, r)
 		if o.httpErr != nil {
 			// Sequential replay aborts on the first failure: every later
@@ -269,14 +335,27 @@ func replaySequential(client *http.Client, base string, reqs []*core.Request) ([
 }
 
 // replayPaced fires requests on the trace's release schedule compressed
-// by speedup (0 = no pacing), each from its own goroutine.
-func replayPaced(client *http.Client, base string, reqs []*core.Request, speedup float64) ([]outcome, error) {
+// by speedup (0 = no pacing), each from its own goroutine. Traffic events
+// are injected inline on the same schedule (no equivalence claim in this
+// mode; see DESIGN.md §9.3).
+func replayPaced(client *http.Client, base string, reqs []*core.Request, profile *roadnet.TrafficProfile, speedup float64) ([]outcome, error) {
 	outcomes := make([]outcome, len(reqs))
 	sem := make(chan struct{}, 256) // bound in-flight requests
 	var wg sync.WaitGroup
 	start := time.Now()
 	t0 := reqs[0].Release
+	next := 0
+	var events []roadnet.TrafficEvent
+	if profile != nil {
+		events = profile.Events
+	}
 	for i, r := range reqs {
+		for next < len(events) && events[next].At <= r.Release {
+			if err := sendTraffic(client, base, events[next]); err != nil {
+				return nil, err
+			}
+			next++
+		}
 		if speedup > 0 {
 			due := start.Add(time.Duration((r.Release - t0) / speedup * float64(time.Second)))
 			if d := time.Until(due); d > 0 {

@@ -50,18 +50,19 @@ func main() {
 		gridKm      = flag.Float64("grid", 2, "grid cell size g in km")
 		alpha       = flag.Float64("alpha", 1, "unified-cost weight α")
 		snapshot    = flag.String("snapshot", "", "state file: restored at startup when present, written on graceful shutdown")
+		asyncRb     = flag.Bool("async-rebuild", false, "rebuild the oracle in the background after POST /v1/traffic (live-tier queries meanwhile; multi-epoch replays are no longer bit-comparable, see DESIGN.md §11.4)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 	if err := run(*netFile, *loadFile, *oracle, *addr, *batchWindow, *batchSize,
-		*parallel, *gridKm, *alpha, *snapshot, *pprofAddr); err != nil {
+		*parallel, *gridKm, *alpha, *snapshot, *pprofAddr, *asyncRb); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
-	batchSize, parallel int, gridKm, alpha float64, snapshotFile, pprofAddr string) error {
+	batchSize, parallel int, gridKm, alpha float64, snapshotFile, pprofAddr string, asyncRebuild bool) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load are required")
 	}
@@ -92,15 +93,16 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		return err
 	}
 	cfg := serve.Config{
-		Graph:       g,
-		Workers:     inst.Workers,
-		Oracle:      oracle,
-		OracleKind:  resolved,
-		Alpha:       alpha,
-		CellMeters:  gridKm * 1000,
-		BatchWindow: batchWindow,
-		BatchSize:   batchSize,
-		Pool:        parallel,
+		Graph:        g,
+		Workers:      inst.Workers,
+		Oracle:       oracle,
+		OracleKind:   resolved,
+		Alpha:        alpha,
+		CellMeters:   gridKm * 1000,
+		BatchWindow:  batchWindow,
+		BatchSize:    batchSize,
+		Pool:         parallel,
+		AsyncRebuild: asyncRebuild,
 	}
 	if snapshotFile != "" {
 		if sf, err := os.Open(snapshotFile); err == nil {

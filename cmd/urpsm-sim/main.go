@@ -8,11 +8,15 @@
 //	urpsm-sim -dataset chengdu -scale 0.05 -algo pruneGreedyDP
 //	urpsm-sim -dataset nyc -scale 0.02 -algo all -deadline 15 -workers 200
 //	urpsm-sim -net city.net -load city.load -oracle auto -algo pruneGreedyDP
+//	urpsm-sim -dataset chengdu -traffic rush.traffic -algo pruneGreedyDP
 //
 // -oracle picks the distance oracle (hub|ch|bidijkstra|auto); "auto"
 // selects the strongest tier whose preprocessing fits the graph size,
 // which is the right default for imported real road networks (see
-// DESIGN.md §8.3).
+// DESIGN.md §8.3). -traffic replays a scheduled congestion trace
+// (FORMATS.md §6) against the event clock: edge weights change
+// mid-simulation, the oracle re-tiers per epoch and routes are repaired
+// (DESIGN.md §11).
 package main
 
 import (
@@ -42,6 +46,7 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "repetitions to average (presets only)")
 		netFile  = flag.String("net", "", "run on this road-network file instead of a preset (urpsm-roadnet format)")
 		loadFile = flag.String("load", "", "workload stream for -net (urpsm-workload format)")
+		traffic  = flag.String("traffic", "", "replay this congestion trace (urpsm-traffic format) against the event clock")
 		oracle   = cliutil.OracleFlag("") // default: hub for presets, auto for -net
 	)
 	flag.Parse()
@@ -63,10 +68,10 @@ func main() {
 			}
 		})
 		if err == nil {
-			err = runFiles(*netFile, *loadFile, *algo, *oracle, *gridKm)
+			err = runFiles(*netFile, *loadFile, *traffic, *algo, *oracle, *gridKm)
 		}
 	default:
-		err = run(*dataset, *algo, *oracle, *scale, *workers, *requests, *deadline,
+		err = run(*dataset, *algo, *oracle, *traffic, *scale, *workers, *requests, *deadline,
 			*penalty, *capacity, *gridKm, *seed, *repeat)
 	}
 	if err != nil {
@@ -83,8 +88,27 @@ func algoList(algo string) []string {
 	return []string{algo}
 }
 
+// loadTraffic parses and installs a congestion trace on the runner.
+func loadTraffic(runner *expt.Runner, trafficFile string) error {
+	if trafficFile == "" {
+		return nil
+	}
+	tf, err := os.Open(trafficFile)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	p, err := roadnet.ReadTrafficProfile(tf, runner.G)
+	if err != nil {
+		return err
+	}
+	runner.Traffic = p
+	fmt.Printf("traffic=%s (%d scheduled events)\n", trafficFile, len(p.Events))
+	return nil
+}
+
 // runFiles simulates an imported network + workload pair.
-func runFiles(netFile, loadFile, algo, oracle string, gridKm float64) error {
+func runFiles(netFile, loadFile, trafficFile, algo, oracle string, gridKm float64) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load must be given together")
 	}
@@ -117,6 +141,9 @@ func runFiles(netFile, loadFile, algo, oracle string, gridKm float64) error {
 	if err != nil {
 		return err
 	}
+	if err := loadTraffic(runner, trafficFile); err != nil {
+		return err
+	}
 	fmt.Printf("net=%s |V|=%d |E|=%d requests=%d workers=%d oracle=%s\n",
 		netFile, g.NumVertices(), g.NumEdges(), len(inst.Requests), len(inst.Workers), desc)
 	for _, a := range algoList(algo) {
@@ -129,7 +156,7 @@ func runFiles(netFile, loadFile, algo, oracle string, gridKm float64) error {
 	return nil
 }
 
-func run(dataset, algo, oracle string, scale float64, workers, requests int,
+func run(dataset, algo, oracle, trafficFile string, scale float64, workers, requests int,
 	deadlineMin, penalty, capacity, gridKm float64, seed int64, repeat int) error {
 	var p workload.Params
 	switch strings.ToLower(dataset) {
@@ -169,6 +196,9 @@ func run(dataset, algo, oracle string, scale float64, workers, requests int,
 	}
 	desc, err := runner.OracleDescription()
 	if err != nil {
+		return err
+	}
+	if err := loadTraffic(runner, trafficFile); err != nil {
 		return err
 	}
 	fmt.Printf("dataset=%s |V|=%d |E|=%d requests=%d workers=%d deadline=%.0fs penalty=%.0fx oracle=%s\n",

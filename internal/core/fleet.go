@@ -43,6 +43,14 @@ func NewFleet(g *roadnet.Graph, dist DistFunc, workers []*Worker, cellMeters flo
 	return f, nil
 }
 
+// SetGraph swaps in a reweighted snapshot of the same road network (a
+// traffic-epoch advance). Topology, coordinates and the grid geometry are
+// shared between snapshots, so positions, maxEdgeMeters and the Euclidean
+// machinery all remain valid; only EdgeCost readers see the new weights.
+// Callers must not be mid-plan (the traffic controller applies updates
+// between decisions).
+func (f *Fleet) SetGraph(g *roadnet.Graph) { f.Graph = g }
+
 // UpdateWorkerPosition refreshes w's entry in the grid index; the
 // simulator calls it whenever a worker's committed location changes.
 func (f *Fleet) UpdateWorkerPosition(w *Worker) {

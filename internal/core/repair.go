@@ -1,0 +1,113 @@
+package core
+
+// Route re-validation under a changed cost model. When a traffic epoch
+// advances, every cached arrival time (Route.Arr, maintained incrementally
+// by the planners under Lemma 9) and every pickup deadline (Eq. 6:
+// e_r − dis(o_r, d_r), whose dis term is epoch-dependent) is stale.
+// RepairRoutes recomputes both from each worker's committed position and
+// flags the stops that the new weights make infeasible.
+//
+// Infeasible stops are flagged, not dropped: an accepted request is a
+// promise, and the paper's model has no un-accept. A flagged drop-off
+// completes late and is counted by the simulator's late-arrival metric
+// (which stays a correctness alarm only in single-epoch runs — see
+// DESIGN.md §11). Future insertions are unaffected by the lateness of
+// existing stops beyond what the recomputed ddl/arr arrays already
+// express: the insertion lemmas keep rejecting anything that would make
+// matters worse.
+
+import "math"
+
+// RepairStats summarizes one RepairRoutes pass.
+type RepairStats struct {
+	// RoutesRepaired counts workers whose route had at least one stop.
+	RoutesRepaired int
+	// StopsRepaired counts re-timed stops.
+	StopsRepaired int
+	// InfeasibleStops counts stops whose recomputed arrival exceeds their
+	// (recomputed) deadline — promises the new weights break.
+	InfeasibleStops int
+	// RoutesWithInfeasible counts routes carrying ≥ 1 infeasible stop.
+	RoutesWithInfeasible int
+	// MaxOverrunSec is the largest arrival-past-deadline among infeasible
+	// stops, in seconds.
+	MaxOverrunSec float64
+}
+
+// Add accumulates other into s; the sim layer keeps a running total over
+// a traffic timeline.
+func (s *RepairStats) Add(other RepairStats) {
+	s.RoutesRepaired += other.RoutesRepaired
+	s.StopsRepaired += other.StopsRepaired
+	s.InfeasibleStops += other.InfeasibleStops
+	s.RoutesWithInfeasible += other.RoutesWithInfeasible
+	if other.MaxOverrunSec > s.MaxOverrunSec {
+		s.MaxOverrunSec = other.MaxOverrunSec
+	}
+}
+
+// RepairRoutes re-times every worker's remaining route under dist — the
+// fleet's current oracle chain, which after a traffic update answers on
+// the new weights — and recomputes the Eq. 6 pickup deadlines. It returns
+// what the new weights broke. Callers (sim.Traffic, serve) invoke it
+// exactly once per epoch advance, between planning decisions, so no
+// planner ever sees a half-repaired fleet.
+func (f *Fleet) RepairRoutes(dist DistFunc) RepairStats {
+	var st RepairStats
+	for _, w := range f.Workers {
+		rt := &w.Route
+		if len(rt.Stops) == 0 {
+			continue
+		}
+		st.RoutesRepaired++
+		st.StopsRepaired += len(rt.Stops)
+		repairDeadlines(rt, dist)
+		rt.Recompute(dist)
+		late := false
+		for i := range rt.Stops {
+			if over := rt.Arr[i] - rt.Stops[i].DDL; over > feasEps {
+				st.InfeasibleStops++
+				late = true
+				if over > st.MaxOverrunSec {
+					st.MaxOverrunSec = over
+				}
+			}
+		}
+		if late {
+			st.RoutesWithInfeasible++
+		}
+	}
+	return st
+}
+
+// repairDeadlines recomputes the pickup deadlines of rt under dist. A
+// pickup's deadline is its request's drop-off deadline minus the CURRENT
+// dis(o_r, d_r) (Eq. 6), so that meeting the pickup deadline still
+// guarantees the drop-off can be met; drop-off deadlines are e_r itself
+// and never move. Pickups are paired with the first unclaimed later
+// drop-off of the same request, mirroring the pairing the simulator uses
+// for occupancy accounting (clients own the ID namespace and may reuse
+// IDs).
+func repairDeadlines(rt *Route, dist DistFunc) {
+	n := len(rt.Stops)
+	claimed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		p := &rt.Stops[i]
+		if p.Kind != Pickup {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			d := &rt.Stops[j]
+			if d.Kind != Dropoff || d.Req != p.Req || claimed[j] {
+				continue
+			}
+			p.DDL = d.DDL - dist(p.Vertex, d.Vertex)
+			claimed[j] = true
+			break
+		}
+	}
+}
+
+// finiteFloat reports whether v is neither NaN nor ±Inf; Request.Validate
+// uses it to keep non-finite times and penalties out of the planners.
+func finiteFloat(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

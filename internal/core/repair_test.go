@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// scaledDist returns a DistFunc over g's shortest paths multiplied by f —
+// a stand-in for a traffic slowdown without dragging the overlay into
+// core's tests.
+func scaledDist(base DistFunc, f float64) DistFunc {
+	return func(u, v roadnet.VertexID) float64 { return base(u, v) * f }
+}
+
+func repairFixture(t *testing.T) (*roadnet.Graph, DistFunc) {
+	t.Helper()
+	g, err := roadnet.LineGraph(8, 2) // 8 vertices in a line, 2s per edge
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := func(u, v roadnet.VertexID) float64 {
+		d := float64(u - v)
+		return math.Abs(d) * 2
+	}
+	return g, dist
+}
+
+func TestRepairRoutesRecomputesArrivalsAndDeadlines(t *testing.T) {
+	g, base := repairFixture(t)
+	req := &Request{ID: 9, Origin: 2, Dest: 6, Release: 0, Deadline: 100, Penalty: 10, Capacity: 1}
+	w := &Worker{ID: 0, Capacity: 4, Route: Route{Loc: 0, Now: 0}}
+	ins := LinearDPInsertion(&w.Route, w.Capacity, req, base(req.Origin, req.Dest), base)
+	if !ins.OK {
+		t.Fatal("insertion infeasible")
+	}
+	if err := Apply(&w.Route, w.Capacity, req, ins, base(req.Origin, req.Dest), base); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Route.Validate(w.Capacity, base); err != nil {
+		t.Fatal(err)
+	}
+	oldPickDDL := w.Route.Stops[0].DDL // 100 - 8
+	oldArr := append([]float64(nil), w.Route.Arr...)
+
+	fleet, err := NewFleet(g, base, []*Worker{w}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Traffic doubles every travel time: arrivals double, the pickup
+	// deadline tightens to e_r − 2·dis, the drop-off deadline stays e_r.
+	slow := scaledDist(base, 2)
+	fleet.Dist = slow
+	st := fleet.RepairRoutes(slow)
+	if st.RoutesRepaired != 1 || st.StopsRepaired != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.InfeasibleStops != 0 {
+		t.Fatalf("deadline 100 is generous; nothing should be infeasible: %+v", st)
+	}
+	for i, a := range w.Route.Arr {
+		if math.Abs(a-2*oldArr[i]) > 1e-9 {
+			t.Fatalf("arr[%d]=%v want %v", i, a, 2*oldArr[i])
+		}
+	}
+	wantPickDDL := 100.0 - 2*8
+	if got := w.Route.Stops[0].DDL; math.Abs(got-wantPickDDL) > 1e-9 {
+		t.Fatalf("pickup DDL %v want %v (old %v)", got, wantPickDDL, oldPickDDL)
+	}
+	if got := w.Route.Stops[1].DDL; got != 100 {
+		t.Fatalf("drop-off DDL moved to %v", got)
+	}
+	// The repaired route validates under the new oracle.
+	if err := w.Route.Validate(w.Capacity, slow); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairRoutesFlagsInfeasibleStops(t *testing.T) {
+	g, base := repairFixture(t)
+	// Deadline 14: pickup at 4 (ddl 14-8=6), drop-off at 12 — tight but
+	// feasible at base speed.
+	req := &Request{ID: 1, Origin: 2, Dest: 6, Release: 0, Deadline: 14, Penalty: 10, Capacity: 1}
+	w := &Worker{ID: 0, Capacity: 4, Route: Route{Loc: 0, Now: 0}}
+	L := base(req.Origin, req.Dest)
+	ins := LinearDPInsertion(&w.Route, w.Capacity, req, L, base)
+	if !ins.OK {
+		t.Fatal("insertion infeasible at base speed")
+	}
+	if err := Apply(&w.Route, w.Capacity, req, ins, L, base); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewFleet(g, base, []*Worker{w}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := scaledDist(base, 3) // drop-off now at 36 > 14
+	fleet.Dist = slow
+	st := fleet.RepairRoutes(slow)
+	if st.InfeasibleStops != 2 || st.RoutesWithInfeasible != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MaxOverrunSec < 36-14-1e-9 {
+		t.Fatalf("max overrun %v want ≥ %v", st.MaxOverrunSec, 36.0-14)
+	}
+	// Accumulation across epochs.
+	var total RepairStats
+	total.Add(st)
+	total.Add(st)
+	if total.InfeasibleStops != 4 || total.MaxOverrunSec != st.MaxOverrunSec {
+		t.Fatalf("accumulated: %+v", total)
+	}
+}
+
+func TestRepairRoutesSkipsIdleAndPairsDuplicateIDs(t *testing.T) {
+	g, base := repairFixture(t)
+	idle := &Worker{ID: 0, Capacity: 2, Route: Route{Loc: 3, Now: 10}}
+	// A route carrying two requests under one reused ID: pickups at 1 and
+	// 3, drop-offs at 5 and 7. Pairing must claim each drop-off once.
+	dup := &Worker{ID: 1, Capacity: 4, Route: Route{
+		Loc: 0, Now: 0,
+		Stops: []Stop{
+			{Vertex: 1, Kind: Pickup, Req: 5, Cap: 1, DDL: 50},
+			{Vertex: 3, Kind: Pickup, Req: 5, Cap: 1, DDL: 60},
+			{Vertex: 5, Kind: Dropoff, Req: 5, Cap: 1, DDL: 70},
+			{Vertex: 7, Kind: Dropoff, Req: 5, Cap: 1, DDL: 80},
+		},
+		Arr: []float64{2, 6, 10, 14},
+	}}
+	fleet, err := NewFleet(g, base, []*Worker{idle, dup}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fleet.RepairRoutes(base)
+	if st.RoutesRepaired != 1 || st.StopsRepaired != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// First pickup pairs with the FIRST drop-off (vertex 5, ddl 70):
+	// ddl = 70 − dis(1,5) = 70 − 8; second with vertex 7: 80 − dis(3,7).
+	if got, want := dup.Route.Stops[0].DDL, 70.0-8; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pickup 0 DDL %v want %v", got, want)
+	}
+	if got, want := dup.Route.Stops[1].DDL, 80.0-8; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("pickup 1 DDL %v want %v", got, want)
+	}
+}
+
+func TestRequestValidateRejectsNonFinite(t *testing.T) {
+	ok := Request{ID: 1, Origin: 0, Dest: 1, Release: 5, Deadline: 50, Penalty: 3, Capacity: 1}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nan := math.NaN()
+	cases := map[string]Request{
+		"nan release":   {ID: 1, Release: nan, Deadline: 50, Penalty: 3, Capacity: 1},
+		"nan deadline":  {ID: 1, Release: 5, Deadline: nan, Penalty: 3, Capacity: 1},
+		"nan penalty":   {ID: 1, Release: 5, Deadline: 50, Penalty: nan, Capacity: 1},
+		"inf release":   {ID: 1, Release: math.Inf(1), Deadline: math.Inf(1), Penalty: 3, Capacity: 1},
+		"inf deadline":  {ID: 1, Release: 5, Deadline: math.Inf(1), Penalty: 3, Capacity: 1},
+		"-inf deadline": {ID: 1, Release: 5, Deadline: math.Inf(-1), Penalty: 3, Capacity: 1},
+		"inf penalty":   {ID: 1, Release: 5, Deadline: 50, Penalty: math.Inf(1), Capacity: 1},
+	}
+	for name, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	// NaN deadline is the dangerous one: every comparison against it is
+	// false, so without the explicit check it sails past Deadline<Release.
+	bad := Request{ID: 1, Release: 5, Deadline: nan, Penalty: 3, Capacity: 1}
+	if bad.Deadline < bad.Release {
+		t.Fatal("sanity: NaN comparison should be false")
+	}
+}

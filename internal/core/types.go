@@ -32,11 +32,21 @@ type Request struct {
 	Capacity int              // K_r: passengers/items in this request
 }
 
-// Validate reports the first structural problem with r.
+// Validate reports the first structural problem with r. Non-finite times
+// and penalties are rejected here — not only at the HTTP decode layer —
+// so no ingestion path (file, API, programmatic) can feed the planners a
+// NaN that would make every feasibility comparison silently false or an
+// Inf that disables the deadline machinery.
 func (r *Request) Validate() error {
 	switch {
 	case r.Capacity < 1:
 		return fmt.Errorf("core: request %d has capacity %d < 1", r.ID, r.Capacity)
+	case !finiteFloat(r.Release):
+		return fmt.Errorf("core: request %d has non-finite release %v", r.ID, r.Release)
+	case !finiteFloat(r.Deadline):
+		return fmt.Errorf("core: request %d has non-finite deadline %v", r.ID, r.Deadline)
+	case !finiteFloat(r.Penalty):
+		return fmt.Errorf("core: request %d has non-finite penalty %v", r.ID, r.Penalty)
 	case r.Deadline < r.Release:
 		return fmt.Errorf("core: request %d deadline %v before release %v", r.ID, r.Deadline, r.Release)
 	case r.Penalty < 0:

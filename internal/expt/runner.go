@@ -70,6 +70,15 @@ type Runner struct {
 	// not the serial LRU's. Other algorithms are unaffected: they keep
 	// the serial planner and the serial query chain.
 	Parallel int
+	// Traffic, when non-nil, replays a congestion trace against each
+	// run's event clock (urpsm-sim -traffic): the query chain runs
+	// through an epoch-aware oracle front (shortest.Versioned over a
+	// per-run roadnet.Overlay) and the engine applies each event before
+	// the first request released at or after it. Rebuilds are
+	// synchronous, so preprocessing cost is attributed to the run that
+	// caused it. With an empty profile every run is bit-identical to
+	// Traffic == nil.
+	Traffic *roadnet.TrafficProfile
 
 	hub *shortest.HubLabels // built lazily for OracleKind "hub" (or auto→hub)
 	ch  *shortest.CH        // built lazily for OracleKind "ch" (or auto→ch)
@@ -174,31 +183,50 @@ func (r *Runner) OracleDescription() (string, error) {
 	return desc, nil
 }
 
+// trafficWiring carries the per-run epoch machinery a traffic run wires
+// between the query chain and the engine.
+type trafficWiring struct {
+	overlay   *roadnet.Overlay
+	versioned *shortest.Versioned
+}
+
 // chain assembles the per-run query chain (cache + counter) over the base
-// oracle, concurrency-safe when algo will be dispatched in parallel.
-func (r *Runner) chain(algo string) (core.DistFunc, shortest.QueryCounter, bool, error) {
+// oracle, concurrency-safe when algo will be dispatched in parallel. With
+// a traffic profile the chain runs through a fresh epoch-aware front (the
+// overlay mutates during the run, so it can never be shared across runs);
+// the cached per-kind base oracle is adopted as its epoch-0 tier.
+func (r *Runner) chain(algo string) (core.DistFunc, shortest.QueryCounter, bool, *trafficWiring, error) {
 	base, kind, err := r.oracle()
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, nil, err
 	}
 	// The serial planners keep the paper's single-threaded query chain;
 	// parallel dispatch swaps in the concurrency-safe equivalents. The
 	// swap is scoped to the algorithms that actually dispatch in
 	// parallel so that -parallel cannot perturb any baseline's metrics.
 	useParallel := r.Parallel > 1 && (algo == "pruneGreedyDP" || algo == "GreedyDP")
+	var tw *trafficWiring
+	if r.Traffic != nil {
+		tw = &trafficWiring{
+			overlay: roadnet.NewOverlay(r.G),
+			versioned: shortest.AdoptVersioned(r.G, base, shortest.AutoKind(kind),
+				r.autoBudget(), false),
+		}
+		base = tw.versioned // Versioned locks stateful tiers itself
+	}
 	if useParallel {
-		if kind != "hub" {
+		if tw == nil && kind != "hub" {
 			base = shortest.NewLocked(base) // stateful oracles need the mutex
 		}
 		ac := shortest.NewAtomicCounting(base)
-		return shortest.NewShardedCached(ac, 1<<18, 64).Dist, ac, true, nil
+		return shortest.NewShardedCached(ac, 1<<18, 64).Dist, ac, true, tw, nil
 	}
 	c := shortest.NewCounting(base)
-	return shortest.NewCached(c, 1<<18).Dist, c, false, nil
+	return shortest.NewCached(c, 1<<18).Dist, c, false, tw, nil
 }
 
 func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) {
-	dist, queries, useParallel, err := r.chain(algo)
+	dist, queries, useParallel, tw, err := r.chain(algo)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
@@ -206,7 +234,7 @@ func (r *Runner) runSingle(p workload.Params, algo string) (sim.Metrics, error) 
 	if err != nil {
 		return sim.Metrics{}, err
 	}
-	return r.runWith(inst, algo, dist, queries, useParallel)
+	return r.runWith(inst, algo, dist, queries, useParallel, tw)
 }
 
 // RunInstance runs one algorithm over a pre-materialized instance on this
@@ -221,7 +249,7 @@ func (r *Runner) RunInstance(inst *workload.Instance, algo string) (sim.Metrics,
 	if inst.Graph != r.G {
 		return sim.Metrics{}, fmt.Errorf("expt: instance graph differs from runner graph")
 	}
-	dist, queries, useParallel, err := r.chain(algo)
+	dist, queries, useParallel, tw, err := r.chain(algo)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
@@ -238,12 +266,12 @@ func (r *Runner) RunInstance(inst *workload.Instance, algo string) (sim.Metrics,
 		Requests: append([]*core.Request(nil), inst.Requests...),
 		Workers:  workers,
 	}
-	return r.runWith(private, algo, dist, queries, useParallel)
+	return r.runWith(private, algo, dist, queries, useParallel, tw)
 }
 
 // runWith wires fleet, planner and engine for one simulation run.
 func (r *Runner) runWith(inst *workload.Instance, algo string, dist core.DistFunc,
-	queries shortest.QueryCounter, useParallel bool) (sim.Metrics, error) {
+	queries shortest.QueryCounter, useParallel bool, tw *trafficWiring) (sim.Metrics, error) {
 	fleet, err := core.NewFleet(r.G, dist, inst.Workers, r.CellMeters)
 	if err != nil {
 		return sim.Metrics{}, err
@@ -307,11 +335,24 @@ func (r *Runner) runWith(inst *workload.Instance, algo string, dist core.DistFun
 	}
 	eng := sim.NewEngine(fleet, planner, shortest.NewBiDijkstra(r.G), 1)
 	eng.Queries = queries
+	trafficRun := false
+	if tw != nil {
+		tc := sim.NewTraffic(tw.overlay, tw.versioned, fleet, eng.World())
+		tc.SetProfile(*r.Traffic)
+		eng.Traffic = tc
+		trafficRun = len(r.Traffic.Events) > 0
+	}
 	m, err := eng.Run(inst.Requests)
 	if err != nil {
 		return sim.Metrics{}, err
 	}
-	if err := eng.FastForward(); err != nil {
+	if trafficRun {
+		// Slowdowns can legitimately break already-promised deadlines;
+		// complete the routes and report LateArrivals instead of treating
+		// lateness as an insertion-feasibility bug.
+		eng.World().CompleteAll()
+		m = eng.Metrics(len(inst.Requests))
+	} else if err := eng.FastForward(); err != nil {
 		// Imported instances carry zero Params; fall back to the runner's
 		// dataset name so the error still says where it happened.
 		name := inst.Params.Name

@@ -224,3 +224,17 @@ func TestRoadClassString(t *testing.T) {
 		}
 	}
 }
+
+func TestParseRoadClassRoundTrip(t *testing.T) {
+	for c := RoadClass(0); c < NumRoadClasses; c++ {
+		got, err := ParseRoadClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseRoadClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "cowpath", "Motorway", "unknown"} {
+		if _, err := ParseRoadClass(bad); err == nil {
+			t.Errorf("ParseRoadClass(%q) accepted", bad)
+		}
+	}
+}

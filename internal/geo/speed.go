@@ -1,5 +1,7 @@
 package geo
 
+import "fmt"
+
 // RoadClass categorizes an edge of the road network. Classes determine the
 // travel speed used to convert edge length (meters) into travel time
 // (seconds), following the paper's setup of assigning each road type 80 %
@@ -34,6 +36,18 @@ func (c RoadClass) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParseRoadClass is the inverse of RoadClass.String. It is how the
+// traffic-profile parser and the /v1/traffic endpoint resolve the class
+// selector of a slowdown rule.
+func ParseRoadClass(s string) (RoadClass, error) {
+	for c := RoadClass(0); c < NumRoadClasses; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("geo: unknown road class %q", s)
 }
 
 // classSpeeds holds the travel speed in m/s for each road class: 80 % of

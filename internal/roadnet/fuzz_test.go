@@ -91,3 +91,49 @@ func FuzzLoadDIMACS(f *testing.F) {
 		}
 	})
 }
+
+func FuzzReadTrafficProfile(f *testing.F) {
+	g, err := Generate(GenConfig{Rows: 4, Cols: 4, Spacing: 100, Jitter: 0.1,
+		DetourMin: 1, DetourMax: 1.2, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("urpsm-traffic 1\nat 600 scale 1.5\nat 600 scale 2 class motorway\nat 900 clear\n"))
+	f.Add([]byte("urpsm-traffic 1\n# comment\nat 0 scale 1.25 bbox 0 0 500 500\nat 10 edge 0 1 2\n"))
+	f.Add([]byte("urpsm-traffic 1\nat 0 scale 0.5\n"))
+	f.Add([]byte("urpsm-traffic 1\nat NaN scale 2\n"))
+	f.Add([]byte("urpsm-traffic 1\nat 5 edge 0 99999999999 2\n"))
+	f.Add([]byte("urpsm-traffic 1\nat 9 scale Inf class cowpath\n"))
+	f.Add([]byte("wrong header\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadTrafficProfile(bytes.NewReader(data), g)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("nil profile without error")
+		}
+		// Whatever parsed must satisfy the invariants the overlay relies
+		// on: validated rules, strictly increasing event times, and every
+		// factor in [1, MaxTrafficFactor] so Euclidean lower bounds stay
+		// admissible after any Apply.
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("parsed profile fails validation: %v", err)
+		}
+		o := NewOverlay(g)
+		for _, e := range p.Events {
+			cur, _, _, err := o.Apply(e.Updates)
+			if err != nil {
+				t.Fatalf("parsed event failed to apply: %v", err)
+			}
+			for _, ed := range cur.Edges() {
+				lb := cur.EuclidTime(ed.U, ed.V)
+				c, _ := cur.EdgeCost(ed.U, ed.V)
+				if lb > c+1e-9 {
+					t.Fatalf("epoch %d breaks Euclidean lower bound on edge (%d,%d)", o.Epoch(), ed.U, ed.V)
+				}
+			}
+		}
+	})
+}

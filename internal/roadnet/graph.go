@@ -21,10 +21,14 @@ import (
 // [0, NumVertices).
 type VertexID = int32
 
-// Edge is one undirected road segment, reported by Graph.Edges.
+// Edge is one undirected road segment, reported by Graph.Edges. Cost is
+// the current travel time in seconds — under a traffic overlay it already
+// includes the epoch's multiplier, so consumers must use it rather than
+// re-deriving Class.TravelTime(Meters) (which is the base-weight value).
 type Edge struct {
 	U, V   VertexID
 	Meters float64
+	Cost   float64
 	Class  geo.RoadClass
 }
 
@@ -40,6 +44,9 @@ type Graph struct {
 	adjClass []geo.RoadClass
 	numEdges int
 	bbox     geo.BBox
+	// weightEpoch identifies the traffic-overlay epoch this snapshot's
+	// costs belong to (traffic.go); 0 for a freshly built graph.
+	weightEpoch uint64
 }
 
 // NumVertices returns |V|.
@@ -100,7 +107,7 @@ func (g *Graph) Edges() []Edge {
 	for v := VertexID(0); int(v) < g.NumVertices(); v++ {
 		for i := g.adjStart[v]; i < g.adjStart[v+1]; i++ {
 			if u := g.adjTo[i]; v < u {
-				out = append(out, Edge{U: v, V: u, Meters: g.adjLen[i], Class: g.adjClass[i]})
+				out = append(out, Edge{U: v, V: u, Meters: g.adjLen[i], Cost: g.adjCost[i], Class: g.adjClass[i]})
 			}
 		}
 	}

@@ -63,25 +63,55 @@ type Decision struct {
 
 // Stats is the body of GET /v1/stats.
 type Stats struct {
-	Algorithm      string    `json:"algorithm"`
-	Oracle         string    `json:"oracle"`
-	Workers        int       `json:"workers"`
-	SimTime        float64   `json:"sim_time"`
-	Requests       int       `json:"requests"`
-	Accepted       int       `json:"accepted"`
-	Rejected       int       `json:"rejected"`
-	ServedRate     float64   `json:"served_rate"`
-	TotalDistance  float64   `json:"total_distance"`
-	PenaltySum     float64   `json:"penalty_sum"`
-	UnifiedCost    float64   `json:"unified_cost"`
-	Completions    int       `json:"completions"`
-	LateArrivals   int       `json:"late_arrivals"`
-	Batches        int       `json:"batches"`
-	MaxBatch       int       `json:"max_batch"`
-	LateAdmissions int       `json:"late_admissions"`
-	Pending        int       `json:"pending"`
-	DistQueries    uint64    `json:"dist_queries"`
+	Algorithm      string  `json:"algorithm"`
+	Oracle         string  `json:"oracle"`
+	Workers        int     `json:"workers"`
+	SimTime        float64 `json:"sim_time"`
+	Requests       int     `json:"requests"`
+	Accepted       int     `json:"accepted"`
+	Rejected       int     `json:"rejected"`
+	ServedRate     float64 `json:"served_rate"`
+	TotalDistance  float64 `json:"total_distance"`
+	PenaltySum     float64 `json:"penalty_sum"`
+	UnifiedCost    float64 `json:"unified_cost"`
+	Completions    int     `json:"completions"`
+	LateArrivals   int     `json:"late_arrivals"`
+	Batches        int     `json:"batches"`
+	MaxBatch       int     `json:"max_batch"`
+	LateAdmissions int     `json:"late_admissions"`
+	Pending        int     `json:"pending"`
+	DistQueries    uint64  `json:"dist_queries"`
+	// TrafficEpoch is the current weight epoch (0 = base weights);
+	// TrafficUpdates counts applied POST /v1/traffic batches, and
+	// InfeasibleStops the promises broken by slowdowns (cumulative).
+	TrafficEpoch    uint64 `json:"traffic_epoch"`
+	TrafficUpdates  int    `json:"traffic_updates"`
+	InfeasibleStops int    `json:"infeasible_stops"`
+	// OracleRebuilds counts completed preprocessed-tier rebuilds;
+	// LastRebuildMs is the duration of the most recent one.
+	OracleRebuilds uint64    `json:"oracle_rebuilds"`
+	LastRebuildMs  float64   `json:"last_rebuild_ms"`
 	LatencyMs      LatencyMs `json:"latency_ms"`
+}
+
+// TrafficRequest is the body of POST /v1/traffic.
+type TrafficRequest struct {
+	// At is the event time in simulation seconds; the effective time is
+	// max(event clock, at), and omitting it means "now". Lockstep traffic
+	// injection (urpsm-replay -traffic) sets it to the trace event's time
+	// so server and offline reference advance identically.
+	At *float64 `json:"at,omitempty"`
+	// Updates is the batch applied atomically as one epoch advance.
+	Updates []roadnet.TrafficUpdate `json:"updates"`
+}
+
+// TrafficResult is the response of POST /v1/traffic.
+type TrafficResult struct {
+	Epoch           uint64  `json:"epoch"`
+	SimTime         float64 `json:"sim_time"`
+	ChangedEdges    int     `json:"changed_edges"`
+	RoutesRepaired  int     `json:"routes_repaired"`
+	InfeasibleStops int     `json:"infeasible_stops"`
 }
 
 // LatencyMs carries admission-to-decision latency percentiles over the
@@ -152,6 +182,7 @@ func finiteAll(vs ...float64) bool {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/requests", s.handleRequest)
+	mux.HandleFunc("POST /v1/traffic", s.handleTraffic)
 	mux.HandleFunc("GET /v1/workers/{id}/route", s.handleWorkerRoute)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
@@ -203,6 +234,28 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 // must not wait on a flushing batch).
 func (s *Server) eventTime() float64 {
 	return math.Float64frombits(s.simTimeBits.Load())
+}
+
+// handleTraffic applies a live traffic update: one epoch advance through
+// the whole stack (weights, oracle tiers, caches, route repair, leg
+// caches). Invalid updates are rejected with 400 before any state moves.
+func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
+	var body TrafficRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&body); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad json: " + err.Error()})
+		return
+	}
+	if body.At != nil && !finiteAll(*body.At) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "non-finite at"})
+		return
+	}
+	res, err := s.ApplyTraffic(body.At, body.Updates)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleWorkerRoute(w http.ResponseWriter, r *http.Request) {
@@ -269,6 +322,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP urpsm_workers Fleet size.\n")
 	p("# TYPE urpsm_workers gauge\n")
 	p("urpsm_workers %d\n", st.Workers)
+	p("# HELP urpsm_traffic_epoch Current weight epoch (0 = base weights).\n")
+	p("# TYPE urpsm_traffic_epoch gauge\n")
+	p("urpsm_traffic_epoch %d\n", st.TrafficEpoch)
+	p("# HELP urpsm_traffic_updates_total Traffic update batches applied.\n")
+	p("# TYPE urpsm_traffic_updates_total counter\n")
+	p("urpsm_traffic_updates_total %d\n", st.TrafficUpdates)
+	p("# HELP urpsm_infeasible_stops_total Planned stops made late by traffic updates.\n")
+	p("# TYPE urpsm_infeasible_stops_total counter\n")
+	p("urpsm_infeasible_stops_total %d\n", st.InfeasibleStops)
+	p("# HELP urpsm_oracle_rebuilds_total Preprocessed-oracle rebuilds completed after epoch advances.\n")
+	p("# TYPE urpsm_oracle_rebuilds_total counter\n")
+	p("urpsm_oracle_rebuilds_total %d\n", st.OracleRebuilds)
+	p("# HELP urpsm_oracle_rebuild_seconds Duration of the most recent oracle rebuild.\n")
+	p("# TYPE urpsm_oracle_rebuild_seconds gauge\n")
+	p("urpsm_oracle_rebuild_seconds %g\n", st.LastRebuildMs/1e3)
 	p("# HELP urpsm_request_latency_milliseconds Admission-to-decision latency over recent requests.\n")
 	p("# TYPE urpsm_request_latency_milliseconds summary\n")
 	p("urpsm_request_latency_milliseconds{quantile=\"0.5\"} %g\n", st.LatencyMs.P50)

@@ -20,6 +20,9 @@ func FuzzReadSnapshot(f *testing.F) {
 	}
 	f.Add([]byte(`{"format": "urpsm-snapshot", "version": 1}`))
 	f.Add([]byte(`{"format": "urpsm-snapshot", "version": 1, "workers": [{"id": 0, "capacity": 1, "route": {"loc": 0, "stops": [], "arr": []}}]}`))
+	f.Add([]byte(`{"format": "urpsm-snapshot", "version": 1, "epoch": 1, "traffic": [[{"factor": 1.5, "class": "motorway"}]]}`))
+	f.Add([]byte(`{"format": "urpsm-snapshot", "version": 1, "epoch": 7, "traffic": []}`))
+	f.Add([]byte(`{"format": "urpsm-snapshot", "version": 1, "epoch": 1, "traffic": [[]]}`))
 	f.Add([]byte(`{`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sn, err := ReadSnapshot(bytes.NewReader(data))

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/roadnet"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -66,18 +67,36 @@ func goldenCases() map[string]any {
 			ServedRate: 0.924, TotalDistance: 98213.5, PenaltySum: 5120,
 			UnifiedCost: 103333.5, Completions: 180, LateArrivals: 0,
 			Batches: 40, MaxBatch: 17, LateAdmissions: 0, Pending: 2,
-			DistQueries: 48211,
-			LatencyMs:   LatencyMs{P50: 2.1, P95: 6.4, P99: 11.9},
+			DistQueries:  48211,
+			TrafficEpoch: 2, TrafficUpdates: 2, InfeasibleStops: 1,
+			OracleRebuilds: 2, LastRebuildMs: 184.75,
+			LatencyMs: LatencyMs{P50: 2.1, P95: 6.4, P99: 11.9},
+		},
+		"traffic_request.json": TrafficRequest{
+			At: &trafficAt,
+			Updates: []roadnet.TrafficUpdate{
+				{Factor: 1.5},
+				{Factor: 2.5, Class: "motorway", BBox: []float64{0, 0, 4000, 4000}},
+				{Factor: 1.8, Edges: [][2]int64{{17, 42}}},
+			},
+		},
+		"traffic_result.json": TrafficResult{
+			Epoch: 2, SimTime: 1200, ChangedEdges: 311,
+			RoutesRepaired: 41, InfeasibleStops: 1,
 		},
 		"snapshot.json": Snapshot{
 			Format: SnapshotFormat, Version: SnapshotVersion,
-			SimTime: 1200, NextID: 250, Accepted: 231, Rejected: 19,
+			SimTime: 1200, Epoch: 1, NextID: 250, Accepted: 231, Rejected: 19,
 			PenaltySum: 5120, Batches: 40, MaxBatch: 17, LateAdmissions: 0,
-			Completions: 180, LateArrivals: 0,
+			Completions: 180, LateArrivals: 0, InfeasibleStops: 1,
 			Workers: []core.WorkerState{snapshotWorker()},
+			Traffic: [][]roadnet.TrafficUpdate{{{Factor: 1.5, Class: "motorway"}}},
 		},
 	}
 }
+
+// trafficAt is the At pointer of the traffic_request golden.
+var trafficAt = 1180.0
 
 func TestGoldenWireFormats(t *testing.T) {
 	for name, v := range goldenCases() {

@@ -80,6 +80,18 @@ type Config struct {
 	// Pool > 1 plans with the parallel dispatcher (bit-identical
 	// decisions, see internal/dispatch) using that many goroutines.
 	Pool int
+	// AsyncRebuild rebuilds the preprocessed oracle tier in the
+	// background after a traffic update, serving queries from a live
+	// bidirectional-Dijkstra tier meanwhile: POST /v1/traffic returns
+	// immediately and decisions keep flowing at degraded query latency.
+	// The cost is the last bits of Δ*: different exact tiers sum the same
+	// shortest path in different orders, so multi-epoch runs are no
+	// longer bit-comparable to the offline reference (accept/reject and
+	// assignments still match in practice). Off by default — the
+	// deterministic mode blocks the traffic update until the rebuild
+	// lands and keeps replay equivalence bit-exact across epochs. See
+	// DESIGN.md §11.4.
+	AsyncRebuild bool
 }
 
 // DefaultBatchWindow is the default admission-window bound.
@@ -113,6 +125,11 @@ type Server struct {
 	planner core.Planner
 	world   *sim.World
 	queries shortest.QueryCounter
+	// versioned is the epoch-aware oracle front the whole query chain
+	// runs through; traffic coordinates epoch advances across it, the
+	// fleet and the world. Both are mutated only under smu.
+	versioned *shortest.Versioned
+	traffic   *sim.Traffic
 
 	// qmu guards the admission queue (and the ID counter, so the POST
 	// path never waits on planning); smu guards platform state and
@@ -125,10 +142,14 @@ type Server struct {
 	nextID   int32
 	draining bool
 
-	smu     sync.Mutex
-	simTime float64
+	smu sync.Mutex
+	// trafficHistory records every applied update batch in order; it is
+	// part of the snapshot so a warm restart reconstructs the weights
+	// (the overlay itself is derived state). len(trafficHistory) == epoch.
+	trafficHistory [][]roadnet.TrafficUpdate
+	simTime        float64
 	// simTimeBits mirrors simTime (float64 bits) for lock-free reads on
-	// the admission path; flush is the only writer.
+	// the admission path; written only under smu (flush and ApplyTraffic).
 	simTimeBits    atomic.Uint64
 	accepted       int
 	rejected       int
@@ -177,8 +198,35 @@ func NewServer(cfg Config) (*Server, error) {
 		workers = cloneWorkers(cfg.Workers)
 	}
 
-	dist, queries := queryChain(cfg.Oracle, cfg.OracleKind, cfg.Pool)
-	fleet, err := core.NewFleet(cfg.Graph, dist, workers, cfg.CellMeters)
+	// The weight overlay is derived state: a snapshot carries the applied
+	// update history, and replaying it reconstructs the exact multipliers
+	// and epoch the previous run served under.
+	overlay := roadnet.NewOverlay(cfg.Graph)
+	var history [][]roadnet.TrafficUpdate
+	if cfg.Snapshot != nil {
+		for i, batch := range cfg.Snapshot.Traffic {
+			if _, _, _, err := overlay.Apply(batch); err != nil {
+				return nil, fmt.Errorf("serve: snapshot traffic batch %d: %w", i, err)
+			}
+		}
+		if overlay.Epoch() != cfg.Snapshot.Epoch {
+			return nil, fmt.Errorf("serve: snapshot epoch %d != %d replayed traffic batches",
+				cfg.Snapshot.Epoch, overlay.Epoch())
+		}
+		for _, batch := range cfg.Snapshot.Traffic {
+			history = append(history, append([]roadnet.TrafficUpdate(nil), batch...))
+		}
+	}
+
+	versioned := shortest.AdoptVersioned(cfg.Graph, cfg.Oracle, shortest.AutoKind(cfg.OracleKind),
+		shortest.DefaultAutoBudget(), cfg.AsyncRebuild)
+	if overlay.Epoch() > 0 {
+		// The adopted tier was built on the base weights; move the front to
+		// the restored epoch (the live tier serves until the rebuild lands).
+		versioned.Advance(overlay.Graph(), overlay.Epoch())
+	}
+	dist, queries := queryChain(versioned, cfg.Pool)
+	fleet, err := core.NewFleet(overlay.Graph(), dist, workers, cfg.CellMeters)
 	if err != nil {
 		return nil, err
 	}
@@ -189,19 +237,23 @@ func NewServer(cfg Config) (*Server, error) {
 		planner = core.NewPruneGreedyDP(fleet, cfg.Alpha)
 	}
 
+	world := sim.NewWorld(fleet, shortest.NewBiDijkstra(overlay.Graph()))
 	s := &Server{
-		cfg:     cfg,
-		alpha:   cfg.Alpha,
-		window:  cfg.BatchWindow,
-		maxSize: cfg.BatchSize,
-		fleet:   fleet,
-		planner: planner,
-		world:   sim.NewWorld(fleet, shortest.NewBiDijkstra(cfg.Graph)),
-		queries: queries,
-		latency: newLatencyRing(8192),
-		wakeC:   make(chan struct{}, 1),
-		stopC:   make(chan struct{}),
-		doneC:   make(chan struct{}),
+		cfg:            cfg,
+		alpha:          cfg.Alpha,
+		window:         cfg.BatchWindow,
+		maxSize:        cfg.BatchSize,
+		fleet:          fleet,
+		planner:        planner,
+		world:          world,
+		queries:        queries,
+		versioned:      versioned,
+		traffic:        sim.NewTraffic(overlay, versioned, fleet, world),
+		trafficHistory: history,
+		latency:        newLatencyRing(8192),
+		wakeC:          make(chan struct{}, 1),
+		stopC:          make(chan struct{}),
+		doneC:          make(chan struct{}),
 	}
 	if cfg.Snapshot != nil {
 		s.simTime = cfg.Snapshot.SimTime
@@ -213,25 +265,24 @@ func NewServer(cfg Config) (*Server, error) {
 		s.maxBatch = cfg.Snapshot.MaxBatch
 		s.lateAdmissions = cfg.Snapshot.LateAdmissions
 		s.world.RestoreStats(cfg.Snapshot.Completions, cfg.Snapshot.LateArrivals)
+		s.traffic.RestoreStats(len(cfg.Snapshot.Traffic), cfg.Snapshot.InfeasibleStops)
 	}
 	s.simTimeBits.Store(math.Float64bits(s.simTime))
 	go s.run()
 	return s, nil
 }
 
-// queryChain assembles the distance-query chain over the base oracle,
-// mirroring the experiment Runner: the serial planner gets the paper's
-// single-threaded cache+counter, the parallel dispatcher the
-// concurrency-safe equivalents (with a mutex around stateful oracles).
-func queryChain(base shortest.Oracle, kind string, pool int) (core.DistFunc, shortest.QueryCounter) {
+// queryChain assembles the distance-query chain over the epoch-aware
+// oracle front, mirroring the experiment Runner: the serial planner gets
+// the paper's single-threaded cache+counter, the parallel dispatcher the
+// concurrency-safe equivalents. Versioned handles tier locking itself,
+// and both caches watch its epoch, flushing on a traffic update.
+func queryChain(v *shortest.Versioned, pool int) (core.DistFunc, shortest.QueryCounter) {
 	if pool > 1 {
-		if kind != "hub" {
-			base = shortest.NewLocked(base)
-		}
-		ac := shortest.NewAtomicCounting(base)
+		ac := shortest.NewAtomicCounting(v)
 		return shortest.NewShardedCached(ac, 1<<18, 64).Dist, ac
 	}
-	c := shortest.NewCounting(base)
+	c := shortest.NewCounting(v)
 	return shortest.NewCached(c, 1<<18).Dist, c
 }
 
@@ -427,6 +478,36 @@ func stopETAs(rt *core.Route, id core.RequestID) (pickup, dropoff float64) {
 	return pickup, dropoff
 }
 
+// ApplyTraffic applies one batch of traffic updates at effective time
+// max(event clock, at) — the same monotone rule the offline engine's
+// timeline uses — advancing the world there first. It is the engine
+// behind POST /v1/traffic. Updates are validated before any state moves;
+// a validation error leaves the server untouched.
+func (s *Server) ApplyTraffic(at *float64, ups []roadnet.TrafficUpdate) (TrafficResult, error) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	t := s.simTime
+	if at != nil && *at > t {
+		t = *at
+	}
+	// sim.Traffic.Apply validates the batch before the world moves, so a
+	// rejected update leaves the server (clock included) untouched.
+	res, err := s.traffic.Apply(t, ups)
+	if err != nil {
+		return TrafficResult{}, err
+	}
+	s.simTime = t
+	s.simTimeBits.Store(math.Float64bits(t))
+	s.trafficHistory = append(s.trafficHistory, append([]roadnet.TrafficUpdate(nil), ups...))
+	return TrafficResult{
+		Epoch:           res.Epoch,
+		SimTime:         t,
+		ChangedEdges:    res.ChangedEdges,
+		RoutesRepaired:  res.Repair.RoutesRepaired,
+		InfeasibleStops: res.Repair.InfeasibleStops,
+	}, nil
+}
+
 // Shutdown drains the server: new submissions are refused, everything
 // already admitted is decided, and the event loop exits. It is safe to
 // call more than once.
@@ -473,6 +554,11 @@ func (s *Server) Stats() Stats {
 		Pending:        pendingN,
 	}
 	st.UnifiedCost = s.alpha*st.TotalDistance + st.PenaltySum
+	st.TrafficEpoch = s.traffic.Epoch()
+	st.TrafficUpdates = s.traffic.EventsApplied()
+	st.InfeasibleStops = s.traffic.RepairStats().InfeasibleStops
+	st.OracleRebuilds = s.versioned.Rebuilds()
+	st.LastRebuildMs = float64(s.versioned.LastRebuild().Nanoseconds()) / 1e6
 	if s.queries != nil {
 		st.DistQueries = s.queries.Count()
 	}
@@ -501,22 +587,27 @@ func (s *Server) TakeSnapshot() *Snapshot {
 	s.smu.Lock()
 	defer s.smu.Unlock()
 	sn := &Snapshot{
-		Format:         SnapshotFormat,
-		Version:        SnapshotVersion,
-		SimTime:        s.simTime,
-		NextID:         nextID,
-		Accepted:       s.accepted,
-		Rejected:       s.rejected,
-		PenaltySum:     s.penaltySum,
-		Batches:        s.batches,
-		MaxBatch:       s.maxBatch,
-		LateAdmissions: s.lateAdmissions,
-		Completions:    s.world.Completions(),
-		LateArrivals:   s.world.LateArrivals(),
-		Workers:        make([]core.WorkerState, len(s.fleet.Workers)),
+		Format:          SnapshotFormat,
+		Version:         SnapshotVersion,
+		SimTime:         s.simTime,
+		Epoch:           s.traffic.Epoch(),
+		NextID:          nextID,
+		Accepted:        s.accepted,
+		Rejected:        s.rejected,
+		PenaltySum:      s.penaltySum,
+		Batches:         s.batches,
+		MaxBatch:        s.maxBatch,
+		LateAdmissions:  s.lateAdmissions,
+		Completions:     s.world.Completions(),
+		LateArrivals:    s.world.LateArrivals(),
+		InfeasibleStops: s.traffic.RepairStats().InfeasibleStops,
+		Workers:         make([]core.WorkerState, len(s.fleet.Workers)),
 	}
 	for i, w := range s.fleet.Workers {
 		sn.Workers[i] = core.NewWorkerState(w)
+	}
+	for _, batch := range s.trafficHistory {
+		sn.Traffic = append(sn.Traffic, append([]roadnet.TrafficUpdate(nil), batch...))
 	}
 	return sn
 }
@@ -549,14 +640,20 @@ func (r *latencyRing) percentile(p float64) float64 {
 // OfflineDecisions replays inst through the offline sim.Engine with the
 // same planner and oracle wiring a Server with the given pool would use,
 // and returns the per-request decisions keyed by request ID — the
-// reference side of the replay-equivalence check (-lockstep). The
-// caller's instance is left untouched.
+// reference side of the replay-equivalence check (-lockstep). With a
+// non-nil traffic profile the engine replays the same congestion trace a
+// lockstep client injects via POST /v1/traffic (urpsm-replay -traffic),
+// extending the equivalence guarantee to multi-epoch runs. The caller's
+// instance is left untouched.
 func OfflineDecisions(g *roadnet.Graph, inst *workload.Instance, oracle shortest.Oracle,
-	oracleKind string, alpha float64, pool int) (map[int32]Decision, sim.Metrics, error) {
+	oracleKind string, alpha float64, pool int, profile *roadnet.TrafficProfile) (map[int32]Decision, sim.Metrics, error) {
 	if alpha == 0 {
 		alpha = 1
 	}
-	dist, queries := queryChain(oracle, oracleKind, pool)
+	overlay := roadnet.NewOverlay(g)
+	versioned := shortest.AdoptVersioned(g, oracle, shortest.AutoKind(oracleKind),
+		shortest.DefaultAutoBudget(), false)
+	dist, queries := queryChain(versioned, pool)
 	fleet, err := core.NewFleet(g, dist, cloneWorkers(inst.Workers), 2000)
 	if err != nil {
 		return nil, sim.Metrics{}, err
@@ -570,6 +667,11 @@ func OfflineDecisions(g *roadnet.Graph, inst *workload.Instance, oracle shortest
 	rec := &recordingPlanner{inner: planner, decisions: make(map[int32]Decision, len(inst.Requests))}
 	eng := sim.NewEngine(fleet, rec, shortest.NewBiDijkstra(g), alpha)
 	eng.Queries = queries
+	tc := sim.NewTraffic(overlay, versioned, fleet, eng.World())
+	if profile != nil {
+		tc.SetProfile(*profile)
+	}
+	eng.Traffic = tc
 	m, err := eng.Run(append([]*core.Request(nil), inst.Requests...))
 	if err != nil {
 		return nil, sim.Metrics{}, err

@@ -126,7 +126,7 @@ func TestLockstepEquivalence(t *testing.T) {
 	for _, pool := range []int{1, 4} {
 		t.Run(fmt.Sprintf("pool%d", pool), func(t *testing.T) {
 			g, inst := testInstance(t)
-			want, _, err := OfflineDecisions(g, inst, shortest.BuildHubLabels(g), "hub", 1, pool)
+			want, _, err := OfflineDecisions(g, inst, shortest.BuildHubLabels(g), "hub", 1, pool, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -247,7 +247,7 @@ func TestShutdownDrains(t *testing.T) {
 // run of the full instance.
 func TestSnapshotWarmRestartEquivalence(t *testing.T) {
 	g, inst := testInstance(t)
-	want, _, err := OfflineDecisions(g, inst, shortest.BuildHubLabels(g), "hub", 1, 1)
+	want, _, err := OfflineDecisions(g, inst, shortest.BuildHubLabels(g), "hub", 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/roadnet"
 )
 
 // SnapshotFormat is the format discriminator of a snapshot file.
@@ -29,21 +30,27 @@ const maxSnapshotBytes = 1 << 28 // 256 MB
 
 // Snapshot is the persisted serving state. Every monotone counter the
 // stats surface reports is included, so /metrics counters never move
-// backwards across a warm restart.
+// backwards across a warm restart. Epoch and Traffic carry the live
+// weight state: the applied update history is the source of truth (the
+// overlay is derived by replaying it at restore), and Epoch pins that the
+// replay reconstructed exactly the epoch the snapshot was taken at.
 type Snapshot struct {
-	Format         string             `json:"format"`
-	Version        int                `json:"version"`
-	SimTime        float64            `json:"sim_time"`
-	NextID         int32              `json:"next_id"`
-	Accepted       int                `json:"accepted"`
-	Rejected       int                `json:"rejected"`
-	PenaltySum     float64            `json:"penalty_sum"`
-	Batches        int                `json:"batches"`
-	MaxBatch       int                `json:"max_batch"`
-	LateAdmissions int                `json:"late_admissions"`
-	Completions    int                `json:"completions"`
-	LateArrivals   int                `json:"late_arrivals"`
-	Workers        []core.WorkerState `json:"workers"`
+	Format          string                    `json:"format"`
+	Version         int                       `json:"version"`
+	SimTime         float64                   `json:"sim_time"`
+	Epoch           uint64                    `json:"epoch"`
+	NextID          int32                     `json:"next_id"`
+	Accepted        int                       `json:"accepted"`
+	Rejected        int                       `json:"rejected"`
+	PenaltySum      float64                   `json:"penalty_sum"`
+	Batches         int                       `json:"batches"`
+	MaxBatch        int                       `json:"max_batch"`
+	LateAdmissions  int                       `json:"late_admissions"`
+	Completions     int                       `json:"completions"`
+	LateArrivals    int                       `json:"late_arrivals"`
+	InfeasibleStops int                       `json:"infeasible_stops"`
+	Workers         []core.WorkerState        `json:"workers"`
+	Traffic         [][]roadnet.TrafficUpdate `json:"traffic,omitempty"`
 }
 
 // WriteSnapshot serializes sn as indented JSON with a trailing newline;
@@ -84,11 +91,20 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("serve: bad snapshot sim_time %v", sn.SimTime)
 	}
 	if sn.Accepted < 0 || sn.Rejected < 0 || sn.Batches < 0 || sn.MaxBatch < 0 ||
-		sn.LateAdmissions < 0 || sn.Completions < 0 || sn.LateArrivals < 0 || sn.NextID < 0 {
+		sn.LateAdmissions < 0 || sn.Completions < 0 || sn.LateArrivals < 0 ||
+		sn.InfeasibleStops < 0 || sn.NextID < 0 {
 		return nil, fmt.Errorf("serve: negative snapshot counter")
 	}
 	if math.IsNaN(sn.PenaltySum) || math.IsInf(sn.PenaltySum, 0) || sn.PenaltySum < 0 {
 		return nil, fmt.Errorf("serve: bad snapshot penalty_sum %v", sn.PenaltySum)
+	}
+	if sn.Epoch != uint64(len(sn.Traffic)) {
+		return nil, fmt.Errorf("serve: snapshot epoch %d != %d traffic batches", sn.Epoch, len(sn.Traffic))
+	}
+	for i, batch := range sn.Traffic {
+		if len(batch) == 0 {
+			return nil, fmt.Errorf("serve: snapshot traffic batch %d is empty", i)
+		}
 	}
 	return &sn, nil
 }

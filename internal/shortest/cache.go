@@ -51,6 +51,16 @@ func pairKey(u, v roadnet.VertexID) uint64 {
 // Len returns the number of cached entries.
 func (c *LRU) Len() int { return len(c.entries) }
 
+// Flush drops every entry, keeping the backing storage and the cumulative
+// hit/miss counters. Epoch-aware wrappers call it when the weight epoch
+// advances: a distance cached under old weights must never answer a query
+// under new ones.
+func (c *LRU) Flush() {
+	c.entries = c.entries[:0]
+	clear(c.index)
+	c.head, c.tail = -1, -1
+}
+
 // Get looks up the cached distance for (u,v).
 func (c *LRU) Get(u, v roadnet.VertexID) (float64, bool) {
 	i, ok := c.index[pairKey(u, v)]
@@ -125,18 +135,34 @@ func (c *LRU) moveToFront(i int32) {
 // Cached wraps an Oracle with an LRU cache. It also counts the queries that
 // reached the inner oracle (cache misses) separately from total queries,
 // which is what the "saved distance queries" experiment reports.
+//
+// When the inner chain contains an epoch-aware oracle (Versioned), the
+// cache watches its epoch and flushes itself on advance; a static chain
+// resolves no source at construction and pays nothing per query.
 type Cached struct {
 	inner Oracle
 	cache *LRU
+	src   EpochSource
+	epoch uint64
 }
 
 // NewCached wraps inner with a cache of the given capacity.
 func NewCached(inner Oracle, capacity int) *Cached {
-	return &Cached{inner: inner, cache: NewLRU(capacity)}
+	c := &Cached{inner: inner, cache: NewLRU(capacity)}
+	if c.src = epochSourceOf(inner); c.src != nil {
+		c.epoch = c.src.Epoch()
+	}
+	return c
 }
 
 // Dist implements Oracle.
 func (c *Cached) Dist(u, v roadnet.VertexID) float64 {
+	if c.src != nil {
+		if e := c.src.Epoch(); e != c.epoch {
+			c.cache.Flush()
+			c.epoch = e
+		}
+	}
 	if u == v {
 		return 0
 	}

@@ -76,9 +76,10 @@ func BuildCH(g *roadnet.Graph) *CH {
 		adj[v] = make(map[roadnet.VertexID]float64, g.Degree(roadnet.VertexID(v))+2)
 	}
 	for _, e := range g.Edges() {
-		w := e.Class.TravelTime(e.Meters)
-		addMinArc(adj, e.U, e.V, w)
-		addMinArc(adj, e.V, e.U, w)
+		// e.Cost, not Class.TravelTime(Meters): under a traffic overlay the
+		// two differ and the hierarchy must preserve the overlay's weights.
+		addMinArc(adj, e.U, e.V, e.Cost)
+		addMinArc(adj, e.V, e.U, e.Cost)
 	}
 
 	ch := &CH{n: n, rank: make([]int32, n)}

@@ -73,12 +73,17 @@ type ShardedCached struct {
 	inner  Oracle
 	shards []cacheShard
 	mask   uint64
+	// src, when the inner chain is epoch-aware, drives per-shard lazy
+	// flushing: each shard compares its stamped epoch against the source
+	// under its own lock, so invalidation needs no global barrier.
+	src EpochSource
 }
 
 type cacheShard struct {
 	mu    sync.Mutex
 	cache *LRU
-	_     [48]byte // mutex (8) + pointer (8) + 48 = one 64-byte cache line
+	epoch uint64
+	_     [40]byte // mutex (8) + pointer (8) + epoch (8) + 40 = one 64-byte cache line
 }
 
 // NewShardedCached wraps inner with a sharded LRU of totalCapacity entries
@@ -93,8 +98,13 @@ func NewShardedCached(inner Oracle, totalCapacity, shards int) *ShardedCached {
 		per = 1
 	}
 	c := &ShardedCached{inner: inner, shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	epoch := uint64(0)
+	if c.src = epochSourceOf(inner); c.src != nil {
+		epoch = c.src.Epoch()
+	}
 	for i := range c.shards {
 		c.shards[i].cache = NewLRU(per)
+		c.shards[i].epoch = epoch
 	}
 	return c
 }
@@ -112,7 +122,18 @@ func (c *ShardedCached) Dist(u, v roadnet.VertexID) float64 {
 	}
 	key := pairKey(u, v)
 	s := c.shardOf(key)
+	epoch := uint64(0)
+	if c.src != nil {
+		epoch = c.src.Epoch()
+	}
 	s.mu.Lock()
+	// Epochs are monotone: only a NEWER epoch flushes. A caller whose
+	// pre-lock epoch read is stale (< s.epoch) must not wipe valid
+	// current-epoch entries back to its older stamp.
+	if s.epoch < epoch {
+		s.cache.Flush()
+		s.epoch = epoch
+	}
 	if d, ok := s.cache.Get(u, v); ok {
 		s.mu.Unlock()
 		return d
@@ -121,8 +142,13 @@ func (c *ShardedCached) Dist(u, v roadnet.VertexID) float64 {
 	// Compute outside the shard lock: misses on one shard must not block
 	// hits on it, and the inner oracle manages its own safety.
 	d := c.inner.Dist(u, v)
+	if c.src != nil && c.src.Epoch() != epoch {
+		return d // weights advanced mid-flight; don't cache the result
+	}
 	s.mu.Lock()
-	s.cache.Put(u, v, d)
+	if s.epoch == epoch { // don't poison a shard that advanced meanwhile
+		s.cache.Put(u, v, d)
+	}
 	s.mu.Unlock()
 	return d
 }

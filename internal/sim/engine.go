@@ -34,6 +34,12 @@ type Engine struct {
 	Queries shortest.QueryCounter
 	// Alpha is the unified-cost weight α.
 	Alpha float64
+	// Traffic, when set, replays a congestion trace against the event
+	// clock: before each request is processed, every profile event dated
+	// at or before its release is applied (weights, oracle, route repair,
+	// leg caches — see Traffic). With no events the run is bit-identical
+	// to a nil Traffic.
+	Traffic *Traffic
 
 	world *World
 
@@ -67,6 +73,11 @@ func (e *Engine) Run(requests []*core.Request) (Metrics, error) {
 	for _, r := range requests {
 		if err := r.Validate(); err != nil {
 			return Metrics{}, err
+		}
+		if e.Traffic != nil {
+			if err := e.Traffic.PollUntil(r.Release); err != nil {
+				return Metrics{}, err
+			}
 		}
 		e.world.AdvanceAll(r.Release)
 		start := time.Now()

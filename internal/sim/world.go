@@ -87,6 +87,30 @@ func onboardRides(rt *core.Route) int {
 // (through their driver) after mutating a route.
 func (wd *World) MarkDirty(id core.WorkerID) { wd.states[id].dirty = true }
 
+// MarkAllDirty invalidates every worker's cached leg; a traffic-epoch
+// advance calls it because each cached leg carries per-vertex times of
+// the superseded weights.
+func (wd *World) MarkAllDirty() {
+	for i := range wd.states {
+		wd.states[i].dirty = true
+	}
+}
+
+// SetPaths rebinds the leg-path engine (a traffic-epoch advance binds a
+// fresh one to the new weight snapshot) and invalidates all cached legs.
+func (wd *World) SetPaths(paths shortest.PathOracle) {
+	wd.Paths = paths
+	wd.MarkAllDirty()
+}
+
+// CompleteAll finishes every route without the deadline assertion of
+// FastForward. Traffic runs use it: a slowdown can legitimately make an
+// already-promised drop-off late (counted by LateArrivals), which in a
+// single-epoch run would instead indicate an insertion-feasibility bug.
+func (wd *World) CompleteAll() {
+	wd.AdvanceAll(math.Inf(1))
+}
+
 // RestoreStats seeds the monotone completion counters from a snapshot so
 // they continue across warm restarts instead of resetting to zero.
 func (wd *World) RestoreStats(completions, lateArrivals int) {

@@ -5,7 +5,11 @@
 # requests), starts urpsm-serve, replays the full workload in -lockstep
 # mode (asserting the served decisions are bit-identical to an offline
 # sim.Engine run and printing p50/p95/p99 latency), then sends SIGTERM
-# and asserts a clean drain + snapshot write.
+# and asserts a clean drain + snapshot write. A second server then
+# replays the same workload with a mid-replay traffic profile injected
+# via POST /v1/traffic (-traffic): decisions must stay bit-identical to
+# the offline engine replaying the same congestion trace, the epoch must
+# show up in /metrics, and no route may be dropped.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -70,6 +74,41 @@ for _ in $(seq 1 100); do
 done
 grep -q "restored snapshot" "$WORK/serve2.log" || {
     echo "warm restart did not restore; log:" >&2; cat "$WORK/serve2.log" >&2; exit 1; }
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "== lockstep replay with mid-replay traffic updates =="
+cat > "$WORK/rush.traffic" <<'TRAFFIC'
+urpsm-traffic 1
+# congestion builds, peaks on motorways, then clears
+at 300 scale 1.6
+at 900 scale 2.2 class motorway
+at 900 scale 1.3
+at 1800 clear
+TRAFFIC
+"$BIN/urpsm-serve" -net "$WORK/city.net" -load "$WORK/city.load" \
+    -oracle auto -addr "$ADDR" -batch-window 2ms \
+    > "$WORK/serve3.log" 2>&1 &
+SERVE_PID=$!
+"$BIN/urpsm-replay" -net "$WORK/city.net" -load "$WORK/city.load" \
+    -traffic "$WORK/rush.traffic" -addr "$ADDR" -oracle auto -lockstep
+
+if command -v curl > /dev/null; then
+    METRICS=$(curl -sf "http://$ADDR/metrics")
+    echo "$METRICS" | grep -q '^urpsm_traffic_epoch [1-9]' || {
+        echo "traffic epoch did not advance:" >&2
+        echo "$METRICS" | grep urpsm_traffic >&2; exit 1; }
+    # No dropped routes: every decided request is accounted for and the
+    # fleet is intact.
+    echo "$METRICS" | grep -E '^urpsm_(traffic_epoch|traffic_updates_total|oracle_rebuilds_total|workers)'
+    # One more live update over HTTP; the epoch must bump again.
+    BEFORE=$(echo "$METRICS" | awk '/^urpsm_traffic_epoch/ {print $2}')
+    curl -sf -X POST "http://$ADDR/v1/traffic" \
+        -d '{"updates":[{"factor":1.2,"class":"arterial"}]}' > /dev/null
+    AFTER=$(curl -sf "http://$ADDR/metrics" | awk '/^urpsm_traffic_epoch/ {print $2}')
+    [ "$AFTER" -gt "$BEFORE" ] || { echo "POST /v1/traffic did not bump epoch ($BEFORE -> $AFTER)" >&2; exit 1; }
+fi
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 SERVE_PID=""
