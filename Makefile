@@ -24,10 +24,10 @@ bench-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Headline benchmarks -> JSON trajectory artifact (BENCH_PR5.json).
+# Headline benchmarks -> JSON trajectory artifact (BENCH_PR6.json).
 # Override: make bench-json BENCHTIME=1x BENCHOUT=/tmp/bench.json
 BENCHTIME ?= 100x
-BENCHOUT ?= BENCH_PR5.json
+BENCHOUT ?= BENCH_PR6.json
 bench-json:
 	./scripts/bench-json.sh -t $(BENCHTIME) -o $(BENCHOUT)
 
@@ -37,7 +37,8 @@ golden:
 
 # Short fuzz pass over the untrusted-input parsers (roadnet text, DIMACS,
 # traffic profiles, workload stream, trip CSV, serve snapshot + request
-# bodies). `go test` alone replays only the seed corpus.
+# bodies) and the CCH customization equivalence invariant. `go test` alone
+# replays only the seed corpus.
 fuzz:
 	$(GO) test -fuzz FuzzRead$$ -fuzztime 10s ./internal/roadnet
 	$(GO) test -fuzz FuzzLoadDIMACS -fuzztime 10s ./internal/roadnet
@@ -46,6 +47,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadTripCSV -fuzztime 10s ./internal/workload
 	$(GO) test -run xxx -fuzz FuzzReadSnapshot -fuzztime 10s ./internal/serve
 	$(GO) test -run xxx -fuzz FuzzRequestBody -fuzztime 10s ./internal/serve
+	$(GO) test -run xxx -fuzz FuzzCCHCustomize -fuzztime 10s ./internal/shortest
 
 # End-to-end check of the online dispatch service: start urpsm-serve on a
 # fixture network, lockstep-replay 1500 requests (bit-identical to the

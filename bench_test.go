@@ -390,12 +390,16 @@ func BenchmarkParallelPlanning(b *testing.B) {
 // BenchmarkDecisionLowerBound measures the zero-query Lemma 7 bound in
 // isolation: it must stay linear in route length and allocation-light.
 // BenchmarkDistUnderRebuild measures point-to-point query latency through
-// the epoch-aware oracle front in its two steady states: tier (the
-// preprocessed hub labels answer) and rebuild (an epoch just advanced and
-// the live bidirectional-Dijkstra tier answers while hub labels rebuild
-// asynchronously). The gap between the two is the price of a traffic
-// update until the rebuild lands — the latency the serve layer's
-// urpsm_oracle_rebuild_seconds gauge bounds the duration of.
+// the epoch-aware oracle front in its steady states — tier=hub and
+// tier=cch (a preprocessed tier answers) versus tier=live-during-rebuild
+// (an epoch just advanced and the live bidirectional-Dijkstra tier
+// answers while the preprocessed tier rebuilds asynchronously) — plus the
+// cost of the epoch advance itself: advance=rebuild-ch pays a full
+// witness-search contraction per epoch, advance=customize-cch re-derives
+// shortcut weights over the fixed CCH skeleton. The rebuild/customize gap
+// is what the CCH tier buys (DESIGN.md §12): it bounds how long the
+// serve layer's urpsm_oracle_rebuild_seconds gauge stays nonzero and how
+// long queries pay live-tier latency after a traffic update.
 func BenchmarkDistUnderRebuild(b *testing.B) {
 	g, err := roadnet.Generate(roadnet.GenConfig{
 		Rows: 40, Cols: 40, Spacing: 150, Jitter: 0.2, ArterialEvery: 5,
@@ -413,6 +417,16 @@ func BenchmarkDistUnderRebuild(b *testing.B) {
 
 	b.Run("tier=hub", func(b *testing.B) {
 		v := shortest.NewVersioned(g, budget, true)
+		v.WaitRebuild()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			v.Dist(p[0], p[1])
+		}
+	})
+	b.Run("tier=cch", func(b *testing.B) {
+		cchBudget := shortest.AutoBudget{MaxCCHVertices: n, MaxCHVertices: n}
+		v := shortest.NewVersioned(g, cchBudget, true)
 		v.WaitRebuild()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -444,6 +458,40 @@ func BenchmarkDistUnderRebuild(b *testing.B) {
 		}
 		b.StopTimer()
 		v.WaitRebuild()
+	})
+	// The advance=* pair is the PR 6 acceptance comparison: one epoch
+	// advance on the classic CH tier (full witness-search contraction)
+	// versus the CCH customize fast path over the shared skeleton. Both
+	// run synchronously so the measured op IS the preprocessing cost.
+	b.Run("advance=rebuild-ch", func(b *testing.B) {
+		chBudget := shortest.AutoBudget{MaxCHVertices: n}
+		overlay := roadnet.NewOverlay(g)
+		v := shortest.NewVersioned(g, chBudget, false)
+		cur, epoch, _, err := overlay.Apply([]roadnet.TrafficUpdate{{Factor: 1.5}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.Advance(cur, epoch)
+		}
+	})
+	b.Run("advance=customize-cch", func(b *testing.B) {
+		cchBudget := shortest.AutoBudget{MaxCCHVertices: n, MaxCHVertices: n}
+		overlay := roadnet.NewOverlay(g)
+		v := shortest.NewVersioned(g, cchBudget, false)
+		cur, epoch, _, err := overlay.Apply([]roadnet.TrafficUpdate{{Factor: 1.5}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.Advance(cur, epoch)
+		}
+		b.StopTimer()
+		if v.Customizations() == 0 {
+			b.Fatal("customize fast path not taken")
+		}
 	})
 }
 

@@ -50,7 +50,7 @@ func main() {
 		gridKm      = flag.Float64("grid", 2, "grid cell size g in km")
 		alpha       = flag.Float64("alpha", 1, "unified-cost weight α")
 		snapshot    = flag.String("snapshot", "", "state file: restored at startup when present, written on graceful shutdown")
-		asyncRb     = flag.Bool("async-rebuild", false, "rebuild the oracle in the background after POST /v1/traffic (live-tier queries meanwhile; multi-epoch replays are no longer bit-comparable, see DESIGN.md §11.4)")
+		asyncRb     = flag.Bool("async-rebuild", false, "rebuild the oracle in the background after POST /v1/traffic (live-tier queries meanwhile; mid-rebuild decisions lose bit-comparability; with -oracle cch the window is a millisecond customization, see DESIGN.md §11.4/§12)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()

@@ -10,7 +10,7 @@
 //	urpsm-sim -net city.net -load city.load -oracle auto -algo pruneGreedyDP
 //	urpsm-sim -dataset chengdu -traffic rush.traffic -algo pruneGreedyDP
 //
-// -oracle picks the distance oracle (hub|ch|bidijkstra|auto); "auto"
+// -oracle picks the distance oracle (hub|cch|ch|bidijkstra|auto); "auto"
 // selects the strongest tier whose preprocessing fits the graph size,
 // which is the right default for imported real road networks (see
 // DESIGN.md §8.3). -traffic replays a scheduled congestion trace

@@ -17,10 +17,10 @@ import (
 // OracleKinds are the accepted -oracle values. "auto" resolves to one of
 // the other tiers by vertex count through shortest.Auto's budget
 // (DESIGN.md §8.3).
-var OracleKinds = []string{"hub", "ch", "bidijkstra", "auto"}
+var OracleKinds = []string{"hub", "cch", "ch", "bidijkstra", "auto"}
 
 // OracleUsage is the shared -oracle usage text.
-const OracleUsage = "distance oracle: hub|ch|bidijkstra|auto (auto picks by graph size)"
+const OracleUsage = "distance oracle: hub|cch|ch|bidijkstra|auto (auto picks by graph size)"
 
 // OracleFlag registers the standard -oracle flag with the given default
 // (commands that pick their default later pass "").
@@ -59,6 +59,8 @@ func BuildOracle(kind string, g *roadnet.Graph) (shortest.Oracle, string, error)
 	switch resolved {
 	case "hub":
 		return shortest.BuildHubLabels(g), resolved, nil
+	case "cch":
+		return shortest.BuildCCH(g), resolved, nil
 	case "ch":
 		return shortest.BuildCH(g), resolved, nil
 	case "bidijkstra":

@@ -53,9 +53,10 @@ type Runner struct {
 	// KineticMaxNodes caps the kinetic baseline's per-request search.
 	KineticMaxNodes int
 	// OracleKind picks the distance oracle: "hub" (default, the paper's
-	// setup), "ch" (contraction hierarchies), "bidijkstra" (no
-	// preprocessing) or "auto" (scale-aware selection via shortest.Auto —
-	// see DESIGN.md §8.3).
+	// setup), "cch" (customizable contraction hierarchies — cheap traffic
+	// epochs, see DESIGN.md §12), "ch" (classic contraction hierarchies),
+	// "bidijkstra" (no preprocessing) or "auto" (scale-aware selection via
+	// shortest.Auto — see DESIGN.md §8.3).
 	OracleKind string
 	// AutoBudget bounds preprocessing for OracleKind "auto"; the zero
 	// value means shortest.DefaultAutoBudget().
@@ -81,6 +82,7 @@ type Runner struct {
 	Traffic *roadnet.TrafficProfile
 
 	hub *shortest.HubLabels // built lazily for OracleKind "hub" (or auto→hub)
+	cch *shortest.CCH       // built lazily for OracleKind "cch" (or auto→cch)
 	ch  *shortest.CH        // built lazily for OracleKind "ch" (or auto→ch)
 }
 
@@ -153,6 +155,11 @@ func (r *Runner) oracle() (shortest.Oracle, string, error) {
 	switch kind {
 	case "", "hub":
 		return r.HubLabels(), "hub", nil
+	case "cch":
+		if r.cch == nil {
+			r.cch = shortest.BuildCCH(r.G)
+		}
+		return r.cch, "cch", nil
 	case "ch":
 		if r.ch == nil {
 			r.ch = shortest.BuildCH(r.G)

@@ -114,6 +114,25 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
+// ArcCosts returns the graph's per-arc travel-time array in CSR arc
+// order (each undirected edge appears twice, once per direction). This
+// is the metric a CCH customization consumes: a traffic snapshot shares
+// every topology array with its base, so the same arc index addresses
+// the same road segment at every epoch. The slice is the graph's own
+// storage and must not be modified.
+func (g *Graph) ArcCosts() []float64 { return g.adjCost }
+
+// ArcIndex returns the index of arc (u,v) in the CSR arc arrays (the
+// order ArcCosts follows), or -1 if no such arc exists.
+func (g *Graph) ArcIndex(u, v VertexID) int32 {
+	for i := g.adjStart[u]; i < g.adjStart[u+1]; i++ {
+		if g.adjTo[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
 // EdgeCost returns the travel time of the direct edge (u,v), or
 // (0, false) if no such edge exists.
 func (g *Graph) EdgeCost(u, v VertexID) (float64, bool) {

@@ -178,6 +178,11 @@ func (o *Overlay) Graph() *Graph { return o.cur }
 // Epoch returns the number of Apply calls so far.
 func (o *Overlay) Epoch() uint64 { return o.epoch }
 
+// ArcCosts returns the current epoch's per-arc cost array (see
+// Graph.ArcCosts) — the input a shortest.CCHSkeleton customization
+// consumes to re-derive shortcut weights after an Apply.
+func (o *Overlay) ArcCosts() []float64 { return o.cur.ArcCosts() }
+
 // Multiplier returns the current weight multiplier of undirected edge
 // (u,v), or (0, false) if no such edge exists.
 func (o *Overlay) Multiplier(u, v VertexID) (float64, bool) {

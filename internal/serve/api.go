@@ -88,10 +88,14 @@ type Stats struct {
 	TrafficUpdates  int    `json:"traffic_updates"`
 	InfeasibleStops int    `json:"infeasible_stops"`
 	// OracleRebuilds counts completed preprocessed-tier rebuilds;
-	// LastRebuildMs is the duration of the most recent one.
-	OracleRebuilds uint64    `json:"oracle_rebuilds"`
-	LastRebuildMs  float64   `json:"last_rebuild_ms"`
-	LatencyMs      LatencyMs `json:"latency_ms"`
+	// OracleCustomizations counts how many of those took the CCH
+	// customize fast path (re-deriving shortcut weights over the fixed
+	// skeleton instead of preprocessing from scratch); LastRebuildMs is
+	// the duration of the most recent rebuild or customization.
+	OracleRebuilds       uint64    `json:"oracle_rebuilds"`
+	OracleCustomizations uint64    `json:"oracle_customizations"`
+	LastRebuildMs        float64   `json:"last_rebuild_ms"`
+	LatencyMs            LatencyMs `json:"latency_ms"`
 }
 
 // TrafficRequest is the body of POST /v1/traffic.
@@ -334,7 +338,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP urpsm_oracle_rebuilds_total Preprocessed-oracle rebuilds completed after epoch advances.\n")
 	p("# TYPE urpsm_oracle_rebuilds_total counter\n")
 	p("urpsm_oracle_rebuilds_total %d\n", st.OracleRebuilds)
-	p("# HELP urpsm_oracle_rebuild_seconds Duration of the most recent oracle rebuild.\n")
+	p("# HELP urpsm_oracle_customizations_total Oracle rebuilds that took the CCH customize fast path.\n")
+	p("# TYPE urpsm_oracle_customizations_total counter\n")
+	p("urpsm_oracle_customizations_total %d\n", st.OracleCustomizations)
+	p("# HELP urpsm_oracle_rebuild_seconds Duration of the most recent oracle rebuild or customization.\n")
 	p("# TYPE urpsm_oracle_rebuild_seconds gauge\n")
 	p("urpsm_oracle_rebuild_seconds %g\n", st.LastRebuildMs/1e3)
 	p("# HELP urpsm_request_latency_milliseconds Admission-to-decision latency over recent requests.\n")

@@ -69,7 +69,7 @@ func goldenCases() map[string]any {
 			Batches: 40, MaxBatch: 17, LateAdmissions: 0, Pending: 2,
 			DistQueries:  48211,
 			TrafficEpoch: 2, TrafficUpdates: 2, InfeasibleStops: 1,
-			OracleRebuilds: 2, LastRebuildMs: 184.75,
+			OracleRebuilds: 2, OracleCustomizations: 2, LastRebuildMs: 184.75,
 			LatencyMs: LatencyMs{P50: 2.1, P95: 6.4, P99: 11.9},
 		},
 		"traffic_request.json": TrafficRequest{

@@ -84,13 +84,19 @@ type Config struct {
 	// background after a traffic update, serving queries from a live
 	// bidirectional-Dijkstra tier meanwhile: POST /v1/traffic returns
 	// immediately and decisions keep flowing at degraded query latency.
-	// The cost is the last bits of Δ*: different exact tiers sum the same
-	// shortest path in different orders, so multi-epoch runs are no
-	// longer bit-comparable to the offline reference (accept/reject and
-	// assignments still match in practice). Off by default — the
-	// deterministic mode blocks the traffic update until the rebuild
-	// lands and keeps replay equivalence bit-exact across epochs. See
-	// DESIGN.md §11.4.
+	// The cost is the last bits of Δ* — but only while the live tier is
+	// actually answering: different exact tiers sum the same shortest
+	// path in different orders, so a decision taken mid-rebuild may
+	// differ from the offline reference in the final float bits
+	// (accept/reject and assignments still match in practice). With the
+	// CCH tier the window is milliseconds (customization, not a
+	// from-scratch contraction), and once the customized tier is
+	// installed distances are bit-identical to a fresh build — quiesce
+	// with WaitRebuild and replay equivalence is bit-exact even in async
+	// mode (see TestLockstepEquivalenceCCHCustomize). Off by default —
+	// the deterministic mode blocks the traffic update until the rebuild
+	// lands and keeps replay equivalence bit-exact unconditionally. See
+	// DESIGN.md §11.4 and §12.
 	AsyncRebuild bool
 }
 
@@ -558,6 +564,7 @@ func (s *Server) Stats() Stats {
 	st.TrafficUpdates = s.traffic.EventsApplied()
 	st.InfeasibleStops = s.traffic.RepairStats().InfeasibleStops
 	st.OracleRebuilds = s.versioned.Rebuilds()
+	st.OracleCustomizations = s.versioned.Customizations()
 	st.LastRebuildMs = float64(s.versioned.LastRebuild().Nanoseconds()) / 1e6
 	if s.queries != nil {
 		st.DistQueries = s.queries.Count()

@@ -149,6 +149,67 @@ func TestLockstepEquivalenceWithTraffic(t *testing.T) {
 	}
 }
 
+// TestLockstepEquivalenceCCHCustomize is the customize fast path's
+// end-to-end guarantee: a server on the CCH tier with ASYNC rebuilds,
+// quiesced after each traffic event, decides bit-identically to the
+// offline reference — every epoch advance re-derives shortcut weights
+// over the shared skeleton (no from-scratch contraction), and because
+// skeleton and customization are deterministic, two independently built
+// hierarchies agree to the last float bit. This is the narrowed version
+// of the DESIGN.md §11.4 caveat: with CCH, async mode only loses
+// bit-comparability while the live tier is actually answering.
+func TestLockstepEquivalenceCCHCustomize(t *testing.T) {
+	g, inst := testInstance(t)
+	reqs := sortedRequests(inst)
+	minR := reqs[0].Release
+	maxR := reqs[len(reqs)-1].Release
+	profile := &roadnet.TrafficProfile{Events: []roadnet.TrafficEvent{
+		{At: minR + (maxR-minR)*0.3, Updates: []roadnet.TrafficUpdate{{Factor: 1.7}}},
+		{At: minR + (maxR-minR)*0.6, Updates: []roadnet.TrafficUpdate{
+			{Factor: 2.2, Class: "motorway"}, {Factor: 1.3}}},
+	}}
+
+	s := newTestServer(t, g, inst, func(c *Config) {
+		c.Oracle = shortest.BuildCCH(g)
+		c.OracleKind = "cch"
+		c.AsyncRebuild = true
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	got := make(map[int32]Decision, len(reqs))
+	next := 0
+	for _, r := range reqs {
+		for next < len(profile.Events) && profile.Events[next].At <= r.Release {
+			e := profile.Events[next]
+			postTraffic(t, ts.URL, e.At, e.Updates)
+			// Quiesce: once the async customization lands, the CCH tier
+			// answers and decisions are bit-comparable again.
+			s.versioned.WaitRebuild()
+			next++
+		}
+		d := postRequest(t, ts.URL, r)
+		got[d.ID] = d
+	}
+	if next != len(profile.Events) {
+		t.Fatalf("only %d/%d events injected; widen the profile", next, len(profile.Events))
+	}
+
+	want, _, err := OfflineDecisions(g, inst, shortest.BuildCCH(g), "cch", 1, 1, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, got, want)
+	st := s.Stats()
+	if st.TrafficEpoch != 2 {
+		t.Fatalf("epoch %d after 2 events", st.TrafficEpoch)
+	}
+	if st.OracleRebuilds != 2 || st.OracleCustomizations != 2 {
+		t.Fatalf("rebuilds=%d customizations=%d, want 2 of each (fast path not taken?)",
+			st.OracleRebuilds, st.OracleCustomizations)
+	}
+}
+
 // TestTrafficAsyncRebuildServes exercises the availability mode: with
 // AsyncRebuild the traffic POST returns while the preprocessed tier is
 // still rebuilding, and requests decided meanwhile are served off the

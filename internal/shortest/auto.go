@@ -2,17 +2,20 @@ package shortest
 
 import "repro/internal/roadnet"
 
-// This file implements scale-aware oracle selection. The repository's three
+// This file implements scale-aware oracle selection. The repository's
 // point-to-point oracle families trade preprocessing for query speed:
 //
 //	hub labels   — O(µs) queries, but label construction runs one pruned
 //	               Dijkstra per vertex (superlinear in practice) and label
 //	               memory grows with graph diameter; affordable up to a few
 //	               tens of thousands of vertices.
-//	CH           — ~10µs queries after a much lighter contraction pass
-//	               (near-linear on road networks with witness-search
-//	               limits); affordable into the hundreds of thousands of
-//	               vertices.
+//	CCH          — CH-class queries over a metric-independent skeleton;
+//	               contraction runs once per topology and a traffic epoch
+//	               re-derives shortcut weights in milliseconds (cch.go),
+//	               so it is the preferred mid tier under live weights.
+//	CH           — ~10µs queries after a witness-limited contraction pass
+//	               (near-linear on road networks); slightly sparser than
+//	               CCH but every weight change costs a full rebuild.
 //	bidirectional
 //	Dijkstra     — zero preprocessing, per-query cost grows with the search
 //	               space; the only choice at DIMACS scale when preprocessing
@@ -33,7 +36,14 @@ type AutoKind string
 const (
 	// AutoHub is the hub-labeling oracle (BuildHubLabels).
 	AutoHub AutoKind = "hub"
-	// AutoCH is the contraction-hierarchies oracle (BuildCH).
+	// AutoCCH is the customizable contraction hierarchy (BuildCCH):
+	// CH-class query latency, and under a traffic overlay a weight epoch
+	// recustomizes the fixed skeleton in milliseconds instead of
+	// contracting from scratch (see cch.go, DESIGN.md §12).
+	AutoCCH AutoKind = "cch"
+	// AutoCH is the classic witness-search contraction hierarchy
+	// (BuildCH): a slightly sparser hierarchy than CCH, but every weight
+	// change costs a full rebuild.
 	AutoCH AutoKind = "ch"
 	// AutoBiDijkstra is plain bidirectional Dijkstra (no preprocessing).
 	AutoBiDijkstra AutoKind = "bidijkstra"
@@ -48,17 +58,27 @@ const (
 type AutoBudget struct {
 	// MaxHubVertices is the largest graph that gets hub labels.
 	MaxHubVertices int
-	// MaxCHVertices is the largest graph that gets a contraction
+	// MaxCCHVertices is the largest graph that gets a customizable
+	// contraction hierarchy. The default budget makes CCH the mid tier:
+	// queries cost about the same as classic CH, and a traffic epoch
+	// recustomizes in milliseconds instead of rebuilding (cch.go).
+	MaxCCHVertices int
+	// MaxCHVertices is the largest graph that gets a classic contraction
 	// hierarchy; beyond it Auto falls back to bidirectional Dijkstra.
+	// It only selects CH when MaxCCHVertices < n ≤ MaxCHVertices, so the
+	// default budget (equal thresholds) never picks it — set
+	// MaxCCHVertices lower to prefer the sparser witness-search hierarchy
+	// on static workloads.
 	MaxCHVertices int
 }
 
 // DefaultAutoBudget returns the thresholds used by the CLIs: hub labels up
-// to 50k vertices (seconds of preprocessing), CH up to 400k (tens of
-// seconds), bidirectional Dijkstra beyond. Both are sized for interactive
-// use; raise them for offline preprocessing runs.
+// to 50k vertices (seconds of preprocessing), CCH up to 400k (tens of
+// seconds to contract, milliseconds per traffic epoch afterwards),
+// bidirectional Dijkstra beyond. Both are sized for interactive use;
+// raise them for offline preprocessing runs.
 func DefaultAutoBudget() AutoBudget {
-	return AutoBudget{MaxHubVertices: 50_000, MaxCHVertices: 400_000}
+	return AutoBudget{MaxHubVertices: 50_000, MaxCCHVertices: 400_000, MaxCHVertices: 400_000}
 }
 
 // Choose returns the tier Auto would pick for an n-vertex graph, without
@@ -67,6 +87,8 @@ func (b AutoBudget) Choose(n int) AutoKind {
 	switch {
 	case n <= b.MaxHubVertices:
 		return AutoHub
+	case n <= b.MaxCCHVertices:
+		return AutoCCH
 	case n <= b.MaxCHVertices:
 		return AutoCH
 	default:
@@ -88,6 +110,8 @@ func Auto(g *roadnet.Graph, b AutoBudget) (Oracle, AutoKind) {
 	switch kind {
 	case AutoHub:
 		return BuildHubLabels(g), kind
+	case AutoCCH:
+		return BuildCCH(g), kind
 	case AutoCH:
 		return BuildCH(g), kind
 	default:

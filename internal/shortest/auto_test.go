@@ -10,19 +10,26 @@ import (
 )
 
 func TestAutoBudgetChoose(t *testing.T) {
-	b := AutoBudget{MaxHubVertices: 100, MaxCHVertices: 1000}
+	b := AutoBudget{MaxHubVertices: 100, MaxCCHVertices: 500, MaxCHVertices: 1000}
 	cases := []struct {
 		n    int
 		want AutoKind
 	}{
 		{1, AutoHub}, {100, AutoHub},
-		{101, AutoCH}, {1000, AutoCH},
+		{101, AutoCCH}, {500, AutoCCH},
+		{501, AutoCH}, {1000, AutoCH},
 		{1001, AutoBiDijkstra}, {1 << 30, AutoBiDijkstra},
 	}
 	for _, tc := range cases {
 		if got := b.Choose(tc.n); got != tc.want {
 			t.Errorf("Choose(%d) = %q, want %q", tc.n, got, tc.want)
 		}
+	}
+	// A zero MaxCCHVertices (every pre-CCH budget literal) never selects
+	// the CCH tier, preserving old budgets' behavior.
+	legacy := AutoBudget{MaxHubVertices: 100, MaxCHVertices: 1000}
+	if got := legacy.Choose(500); got != AutoCH {
+		t.Errorf("legacy budget Choose(500) = %q, want %q", got, AutoCH)
 	}
 }
 
@@ -35,6 +42,7 @@ func TestAutoMatchesDijkstra(t *testing.T) {
 	n := g.NumVertices()
 	budgets := map[AutoKind]AutoBudget{
 		AutoHub:        {MaxHubVertices: n, MaxCHVertices: n},
+		AutoCCH:        {MaxHubVertices: 0, MaxCCHVertices: n, MaxCHVertices: n},
 		AutoCH:         {MaxHubVertices: 0, MaxCHVertices: n},
 		AutoBiDijkstra: {MaxHubVertices: 0, MaxCHVertices: 0},
 	}
@@ -62,6 +70,11 @@ func TestAutoDefaultBudgetOrdering(t *testing.T) {
 	if b.MaxHubVertices <= 0 || b.MaxCHVertices <= b.MaxHubVertices {
 		t.Fatalf("default budget not ordered: %+v", b)
 	}
+	// The default makes CCH the whole mid tier (its epoch advances cost
+	// milliseconds, classic CH's cost a full rebuild).
+	if b.MaxCCHVertices < b.MaxCHVertices {
+		t.Fatalf("default budget leaves a CH band above CCH: %+v", b)
+	}
 }
 
 // BenchmarkOracleTiers backs the Auto thresholds with numbers: per-tier
@@ -72,10 +85,11 @@ func BenchmarkOracleTiers(b *testing.B) {
 	n := g.NumVertices()
 	build := map[AutoKind]func() Oracle{
 		AutoHub:        func() Oracle { return BuildHubLabels(g) },
+		AutoCCH:        func() Oracle { return BuildCCH(g) },
 		AutoCH:         func() Oracle { return BuildCH(g) },
 		AutoBiDijkstra: func() Oracle { return NewBiDijkstra(g) },
 	}
-	for _, kind := range []AutoKind{AutoHub, AutoCH, AutoBiDijkstra} {
+	for _, kind := range []AutoKind{AutoHub, AutoCCH, AutoCH, AutoBiDijkstra} {
 		b.Run(fmt.Sprintf("build/%s", kind), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				build[kind]()

@@ -1,0 +1,329 @@
+package shortest
+
+// Customizable contraction hierarchies (CCH), after Dibbelt, Strasser and
+// Wagner's Customizable Route Planning line of work: split CH
+// preprocessing into a metric-INDEPENDENT contraction done once per
+// topology and a cheap metric customization re-run per weight epoch.
+//
+// The classic CH (ch.go) entangles the two: witness searches consult the
+// current edge weights to suppress unnecessary shortcuts, so a traffic
+// update invalidates the whole hierarchy and PR 5's epoch front paid a
+// full BuildCH per update, serving ~55x-slower live-Dijkstra queries
+// meanwhile. Here the contraction order and the shortcut skeleton are
+// functions of the topology alone — contracting a vertex adds a shortcut
+// between EVERY pair of its uncontracted neighbors (no witness search),
+// yielding the chordal supergraph of the contraction order. A weight
+// change then only re-derives the shortcut weights over that fixed
+// skeleton: a bottom-up sweep over precomputed lower triangles, a few
+// milliseconds where BuildCH took tens to hundreds (see
+// BenchmarkDistUnderRebuild advance=customize-cch vs advance=rebuild-ch).
+//
+// Determinism is load-bearing (DESIGN.md §12): the skeleton is built in a
+// canonical order (sorted adjacency, vertex-ID tie-breaks), every
+// customization seeds and relaxes arcs in the same fixed order, and a
+// query composes a shortest-path sum over the same arcs every epoch — so
+// two processes that built the skeleton independently return bit-identical
+// distances, which is what lets the customize fast path preserve the
+// repo's replay-equivalence guarantee across traffic epochs.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/roadnet"
+)
+
+// CCHSkeleton is the metric-independent artifact: the canonical
+// contraction order, the upward chordal arcs in CSR form (each tagged
+// with the vertex whose contraction created it and with the base-graph
+// arc it descends from, if any), and the flattened lower-triangle list a
+// customization sweeps. Build once per topology with BuildCCHSkeleton;
+// it is immutable afterwards and safe to share across any number of
+// concurrent Customize calls.
+type CCHSkeleton struct {
+	n        int
+	baseArcs int // len of the base graph's CSR arc arrays, for validation
+
+	rank  []int32            // vertex -> contraction rank
+	order []roadnet.VertexID // rank -> vertex
+
+	// Upward chordal arcs: for each vertex, arcs to higher-ranked
+	// neighbors sorted by rank. upVia is the vertex whose contraction
+	// created the arc (-1 for original edges); upBase indexes the base
+	// graph's arc arrays (-1 for shortcut-only arcs).
+	upStart []int32
+	upTo    []roadnet.VertexID
+	upVia   []roadnet.VertexID
+	upBase  []int32
+
+	// tri is the lower-triangle enumeration: flat (c, a, b) arc-index
+	// triples in bottom-up apex-rank order, meaning weight[c] may be
+	// improved to weight[a]+weight[b]. Sweeping it once in order is a
+	// complete basic customization.
+	tri []int32
+
+	shortcutArcs int
+}
+
+// cchUpArc is an upward arc recorded at contraction time.
+type cchUpArc struct {
+	to  roadnet.VertexID
+	via roadnet.VertexID
+}
+
+// BuildCCHSkeleton contracts g's topology in a canonical
+// minimum-fill-in-style order (lazy edge-difference heuristic,
+// deterministic vertex-ID tie-breaks) and precomputes the triangle
+// enumeration. No edge weight is ever consulted: the result depends only
+// on the adjacency structure, so every traffic snapshot of the same base
+// graph shares it.
+func BuildCCHSkeleton(g *roadnet.Graph) *CCHSkeleton {
+	n := g.NumVertices()
+	// Topology-only working graph: neighbor -> vertex whose contraction
+	// created the edge (-1 for original edges).
+	adj := make([]map[roadnet.VertexID]roadnet.VertexID, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[roadnet.VertexID]roadnet.VertexID, g.Degree(roadnet.VertexID(v))+2)
+	}
+	for _, e := range g.Edges() {
+		adj[e.U][e.V] = -1
+		adj[e.V][e.U] = -1
+	}
+
+	sk := &CCHSkeleton{
+		n:        n,
+		baseArcs: len(g.ArcCosts()),
+		rank:     make([]int32, n),
+		order:    make([]roadnet.VertexID, n),
+	}
+	contracted := make([]bool, n)
+	neighborsContracted := make([]int32, n)
+	upNbrs := make([][]cchUpArc, n)
+
+	var nbBuf []roadnet.VertexID
+	// fillIn counts the shortcut edges contracting v would add right now:
+	// pairs of uncontracted neighbors not yet adjacent. A pure count, so
+	// map iteration order cannot leak into the priority.
+	fillIn := func(v roadnet.VertexID) int {
+		nbBuf = nbBuf[:0]
+		for u := range adj[v] {
+			nbBuf = append(nbBuf, u)
+		}
+		cnt := 0
+		for i, u := range nbBuf {
+			for _, x := range nbBuf[i+1:] {
+				if _, ok := adj[u][x]; !ok {
+					cnt++
+				}
+			}
+		}
+		return cnt
+	}
+
+	pq := make(chPrioQueue, 0, n)
+	for v := 0; v < n; v++ {
+		prio := float64(fillIn(roadnet.VertexID(v)) - len(adj[v]))
+		pq = append(pq, chPrioItem{v: roadnet.VertexID(v), prio: prio})
+	}
+	heap.Init(&pq)
+
+	nextRank := int32(0)
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(chPrioItem)
+		v := it.v
+		if contracted[v] {
+			continue
+		}
+		// Lazy update, same discipline as BuildCH.
+		prio := float64(fillIn(v)-len(adj[v])) + 2*float64(neighborsContracted[v])
+		if pq.Len() > 0 && prio > pq[0].prio+1e-9 {
+			heap.Push(&pq, chPrioItem{v: v, prio: prio})
+			continue
+		}
+		sk.rank[v] = nextRank
+		sk.order[nextRank] = v
+		nextRank++
+		// Snapshot v's neighbors in sorted order; all of them outrank v
+		// (they contract later), so they become v's upward arcs.
+		nbBuf = nbBuf[:0]
+		for u := range adj[v] {
+			nbBuf = append(nbBuf, u)
+		}
+		sort.Slice(nbBuf, func(i, j int) bool { return nbBuf[i] < nbBuf[j] })
+		for _, u := range nbBuf {
+			upNbrs[v] = append(upNbrs[v], cchUpArc{to: u, via: adj[v][u]})
+		}
+		// Chordal completion: every pair of neighbors becomes adjacent.
+		for i, u := range nbBuf {
+			for _, x := range nbBuf[i+1:] {
+				if _, ok := adj[u][x]; !ok {
+					adj[u][x] = v
+					adj[x][u] = v
+					sk.shortcutArcs++
+				}
+			}
+		}
+		contracted[v] = true
+		for _, u := range nbBuf {
+			delete(adj[u], v)
+			neighborsContracted[u]++
+		}
+		adj[v] = nil
+	}
+
+	// Freeze the upward arcs into CSR, sorted by target rank so the
+	// triangle precompute below can pair arcs (i, j) with i < j and know
+	// upTo[i] is the lower-ranked corner.
+	total := 0
+	for _, l := range upNbrs {
+		total += len(l)
+	}
+	sk.upStart = make([]int32, n+1)
+	sk.upTo = make([]roadnet.VertexID, total)
+	sk.upVia = make([]roadnet.VertexID, total)
+	sk.upBase = make([]int32, total)
+	pos := int32(0)
+	for v := 0; v < n; v++ {
+		sk.upStart[v] = pos
+		l := upNbrs[v]
+		sort.Slice(l, func(i, j int) bool { return sk.rank[l[i].to] < sk.rank[l[j].to] })
+		for _, a := range l {
+			sk.upTo[pos] = a.to
+			sk.upVia[pos] = a.via
+			sk.upBase[pos] = g.ArcIndex(roadnet.VertexID(v), a.to)
+			pos++
+		}
+		upNbrs[v] = nil
+	}
+	sk.upStart[n] = pos
+
+	// Lower-triangle enumeration in bottom-up apex order: when the sweep
+	// reaches apex w, every arc leaving a vertex ranked below w is final,
+	// so relaxing (upTo[i], upTo[j]) via w is sound.
+	for r := 0; r < n; r++ {
+		w := sk.order[r]
+		for i := sk.upStart[w]; i < sk.upStart[w+1]; i++ {
+			for j := i + 1; j < sk.upStart[w+1]; j++ {
+				c := sk.arcBetween(sk.upTo[i], sk.upTo[j])
+				if c < 0 {
+					// Impossible by chordal completion; fail loudly rather
+					// than silently customizing a broken skeleton.
+					panic(fmt.Sprintf("shortest: CCH skeleton missing chordal arc (%d,%d)", sk.upTo[i], sk.upTo[j]))
+				}
+				sk.tri = append(sk.tri, c, i, j)
+			}
+		}
+	}
+	return sk
+}
+
+// arcBetween returns the index of the upward arc from the lower-ranked of
+// u, x to the higher-ranked, or -1 if absent.
+func (sk *CCHSkeleton) arcBetween(u, x roadnet.VertexID) int32 {
+	lo, hi := u, x
+	if sk.rank[lo] > sk.rank[hi] {
+		lo, hi = hi, lo
+	}
+	for i := sk.upStart[lo]; i < sk.upStart[lo+1]; i++ {
+		if sk.upTo[i] == hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumVertices returns |V| of the topology the skeleton was built on.
+func (sk *CCHSkeleton) NumVertices() int { return sk.n }
+
+// Shortcuts is the number of shortcut edges in the chordal supergraph.
+func (sk *CCHSkeleton) Shortcuts() int { return sk.shortcutArcs }
+
+// Triangles is the number of lower triangles one customization sweeps.
+func (sk *CCHSkeleton) Triangles() int { return len(sk.tri) / 3 }
+
+// MemoryBytes reports the skeleton's storage footprint.
+func (sk *CCHSkeleton) MemoryBytes() int64 {
+	return int64(len(sk.upTo))*4 + int64(len(sk.upVia))*4 + int64(len(sk.upBase))*4 +
+		int64(len(sk.upStart))*4 + int64(len(sk.tri))*4 + int64(sk.n)*8
+}
+
+// Customize derives the epoch's shortcut weights over the fixed skeleton:
+// original arcs are seeded from costs (the graph's CSR arc-cost array,
+// see roadnet.Graph.ArcCosts), shortcut arcs start at +Inf, and one
+// in-order sweep of the precomputed lower triangles settles every weight.
+// Because the skeleton, the seeding order and the sweep order are all
+// fixed, the same costs always produce bit-identical weights — and
+// therefore bit-identical query results — no matter when or where the
+// customization ran.
+//
+// Customize is safe to call concurrently on a shared skeleton; each call
+// returns an independent CCH whose query state is its own (wrap in Locked
+// to share one instance across goroutines, as Versioned does).
+func (sk *CCHSkeleton) Customize(costs []float64) *CCH {
+	if len(costs) != sk.baseArcs {
+		panic(fmt.Sprintf("shortest: Customize got %d arc costs, skeleton topology has %d arcs",
+			len(costs), sk.baseArcs))
+	}
+	w := make([]float64, len(sk.upTo))
+	for i := range w {
+		if b := sk.upBase[i]; b >= 0 {
+			w[i] = costs[b]
+		} else {
+			w[i] = math.Inf(1)
+		}
+	}
+	for t := 0; t+3 <= len(sk.tri); t += 3 {
+		c, a, b := sk.tri[t], sk.tri[t+1], sk.tri[t+2]
+		if s := w[a] + w[b]; s < w[c] {
+			w[c] = s
+		}
+	}
+	return &CCH{
+		skel: sk,
+		upW:  w,
+		fwd:  newCHSearch(sk.n),
+		bwd:  newCHSearch(sk.n),
+	}
+}
+
+// CCH is a customized contraction hierarchy: one epoch's metric laid over
+// a shared CCHSkeleton. Queries run the same bidirectional upward search
+// as CH. Like CH it reuses per-instance search state, so a shared
+// instance needs Locked; the skeleton underneath is immutable and free to
+// share.
+type CCH struct {
+	skel *CCHSkeleton
+	upW  []float64
+
+	fwd, bwd chSearch
+}
+
+// BuildCCH builds the skeleton for g and customizes it with g's current
+// costs — the one-stop constructor Auto and the CLIs use. Keep the
+// skeleton (Skeleton) to recustomize later epochs in milliseconds.
+func BuildCCH(g *roadnet.Graph) *CCH {
+	return BuildCCHSkeleton(g).Customize(g.ArcCosts())
+}
+
+// Skeleton returns the metric-independent artifact this CCH customizes,
+// shared and immutable.
+func (c *CCH) Skeleton() *CCHSkeleton { return c.skel }
+
+// Dist implements Oracle: exact shortest travel time on the customized
+// metric via bidirectional upward search.
+func (c *CCH) Dist(s, t roadnet.VertexID) float64 {
+	return upwardDist(&c.fwd, &c.bwd, c.skel.upStart, c.skel.upTo, c.upW, s, t)
+}
+
+// MemoryBytes reports the customized hierarchy's footprint including its
+// share of the skeleton.
+func (c *CCH) MemoryBytes() int64 {
+	return c.skel.MemoryBytes() + int64(len(c.upW))*8
+}
+
+// AvgUpDegree is the mean number of upward arcs per vertex.
+func (c *CCH) AvgUpDegree() float64 {
+	return float64(len(c.skel.upTo)) / float64(c.skel.n)
+}

@@ -3,6 +3,7 @@ package shortest
 import (
 	"container/heap"
 	"math"
+	"sort"
 
 	"repro/internal/pqueue"
 	"repro/internal/roadnet"
@@ -48,8 +49,18 @@ type chPrioItem struct {
 
 type chPrioQueue []chPrioItem
 
-func (q chPrioQueue) Len() int            { return len(q) }
-func (q chPrioQueue) Less(i, j int) bool  { return q[i].prio < q[j].prio }
+func (q chPrioQueue) Len() int { return len(q) }
+
+// Less tie-breaks equal priorities on vertex ID so vertices with the same
+// edge difference contract in a canonical order — part of the BuildCH /
+// BuildCCHSkeleton determinism contract (two builds of the same graph
+// must produce byte-identical hierarchies).
+func (q chPrioQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].v < q[j].v
+}
 func (q chPrioQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *chPrioQueue) Push(x interface{}) { *q = append(*q, x.(chPrioItem)) }
 func (q *chPrioQueue) Pop() interface{} {
@@ -66,7 +77,26 @@ type chArc struct {
 	w  float64
 }
 
-// BuildCH preprocesses g into a contraction hierarchy. Deterministic.
+// sortedArcs copies v's working-graph arcs into buf sorted by target
+// vertex. Map iteration order is randomized per run, so every loop whose
+// side effects depend on visit order (upward-arc layout, witness-search
+// relaxations, shortcut insertion) must go through this instead of
+// ranging the map directly — that is what makes BuildCH deterministic.
+func sortedArcs(m map[roadnet.VertexID]float64, buf []chArc) []chArc {
+	buf = buf[:0]
+	for to, w := range m {
+		buf = append(buf, chArc{to: to, w: w})
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].to < buf[j].to })
+	return buf
+}
+
+// BuildCH preprocesses g into a contraction hierarchy. Deterministic:
+// adjacency is always visited in sorted vertex order and equal contraction
+// priorities tie-break on vertex ID, so two builds of the same graph
+// produce byte-identical rank/upStart/upTo/upW arrays (pinned by
+// TestBuildCHDeterministic) — which is what makes replay and snapshot
+// restores independent of when the hierarchy was (re)built.
 func BuildCH(g *roadnet.Graph) *CH {
 	n := g.NumVertices()
 	// Working graph: adjacency among not-yet-contracted vertices,
@@ -97,6 +127,7 @@ func BuildCH(g *roadnet.Graph) *CH {
 		return ch.contract(adj, wit, v, contracted, nil)
 	}
 
+	arcBuf := make([]chArc, 0, 16)
 	pq := make(chPrioQueue, 0, n)
 	for v := 0; v < n; v++ {
 		s := simulate(roadnet.VertexID(v))
@@ -121,19 +152,21 @@ func BuildCH(g *roadnet.Graph) *CH {
 			continue
 		}
 		// Contract v for real: record its upward arcs, add shortcuts.
+		// (Shortcuts never touch adj[v] itself, so one sorted snapshot
+		// serves both the upward-arc recording and the neighbor cleanup.)
 		ch.rank[v] = nextRank
 		nextRank++
-		for to, w := range adj[v] {
-			upAdj[v] = append(upAdj[v], chArc{to: to, w: w})
-		}
+		arcs := sortedArcs(adj[v], arcBuf)
+		upAdj[v] = append(upAdj[v], arcs...)
 		added := make([][3]float64, 0, 8)
 		ch.contract(adj, wit, v, contracted, &added)
 		ch.Shortcuts += len(added)
 		contracted[v] = true
-		for to := range adj[v] {
-			delete(adj[to], v)
-			neighborsContracted[to]++
+		for _, a := range arcs {
+			delete(adj[a.to], v)
+			neighborsContracted[a.to]++
 		}
+		arcBuf = arcs
 		adj[v] = nil
 	}
 
@@ -173,16 +206,18 @@ func addMinArc(adj []map[roadnet.VertexID]float64, u, v roadnet.VertexID, w floa
 // of v.
 func (ch *CH) contract(adj []map[roadnet.VertexID]float64, wit *witnessSearch,
 	v roadnet.VertexID, contracted []bool, added *[][3]float64) int {
-	neighbors := make([]chArc, 0, len(adj[v]))
+	neighbors := sortedArcs(adj[v], make([]chArc, 0, len(adj[v])))
 	maxOut := 0.0
-	for to, w := range adj[v] {
-		if contracted[to] {
+	for i := 0; i < len(neighbors); {
+		a := neighbors[i]
+		if contracted[a.to] {
+			neighbors = append(neighbors[:i], neighbors[i+1:]...)
 			continue
 		}
-		neighbors = append(neighbors, chArc{to: to, w: w})
-		if w > maxOut {
-			maxOut = w
+		if a.w > maxOut {
+			maxOut = a.w
 		}
+		i++
 	}
 	count := 0
 	for i, u := range neighbors {
@@ -220,6 +255,7 @@ type witnessSearch struct {
 	version []uint32
 	cur     uint32
 	heap    *pqueue.Heap
+	arcBuf  []chArc // scratch for sorted adjacency iteration
 }
 
 func newWitnessSearch(n int) *witnessSearch {
@@ -252,15 +288,18 @@ func (ws *witnessSearch) run(adj []map[roadnet.VertexID]float64, contracted []bo
 			return
 		}
 		settled++
-		for to, w := range adj[v] {
-			if to == avoid || contracted[to] {
+		// Sorted iteration keeps heap tie-breaking — and therefore which
+		// vertices settle within the node limit — canonical across runs.
+		ws.arcBuf = sortedArcs(adj[v], ws.arcBuf)
+		for _, a := range ws.arcBuf {
+			if a.to == avoid || contracted[a.to] {
 				continue
 			}
-			du := dv + w
-			if ws.version[to] != ws.cur || du < ws.dist[to] {
-				ws.version[to] = ws.cur
-				ws.dist[to] = du
-				ws.heap.Push(to, du)
+			du := dv + a.w
+			if ws.version[a.to] != ws.cur || du < ws.dist[a.to] {
+				ws.version[a.to] = ws.cur
+				ws.dist[a.to] = du
+				ws.heap.Push(a.to, du)
 			}
 		}
 	}
@@ -303,10 +342,18 @@ func (s *chSearch) relax(v roadnet.VertexID, d float64) {
 // Dist implements Oracle: exact shortest travel time via bidirectional
 // upward search.
 func (ch *CH) Dist(s, t roadnet.VertexID) float64 {
+	return upwardDist(&ch.fwd, &ch.bwd, ch.upStart, ch.upTo, ch.upW, s, t)
+}
+
+// upwardDist is the bidirectional upward search shared by the CH and CCH
+// tiers: both store a hierarchy as upward CSR arrays, differing only in
+// how the arc weights were derived (witness-limited contraction vs.
+// per-epoch customization of a fixed skeleton).
+func upwardDist(f, b *chSearch, upStart []int32, upTo []roadnet.VertexID, upW []float64,
+	s, t roadnet.VertexID) float64 {
 	if s == t {
 		return 0
 	}
-	f, b := &ch.fwd, &ch.bwd
 	f.reset()
 	b.reset()
 	f.relax(s, 0)
@@ -332,8 +379,8 @@ func (ch *CH) Dist(s, t roadnet.VertexID) float64 {
 					best = total
 				}
 			}
-			for i := ch.upStart[v]; i < ch.upStart[v+1]; i++ {
-				side.relax(ch.upTo[i], dv+ch.upW[i])
+			for i := upStart[v]; i < upStart[v+1]; i++ {
+				side.relax(upTo[i], dv+upW[i])
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package shortest
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/geo"
@@ -116,6 +117,29 @@ func TestCHAgainstHubLabels(t *testing.T) {
 		if math.Abs(a-b) > 1e-6*(1+b) {
 			t.Fatalf("CH %v != hub %v for (%d,%d)", a, b, s, tt)
 		}
+	}
+}
+
+// TestBuildCHDeterministic pins the canonical construction order: Go map
+// iteration is randomized, so before the sorted-adjacency fix two builds
+// of the same graph could contract in different orders and disagree in
+// the last float bits of a distance. Byte-identical hierarchy arrays are
+// the strongest observable guarantee that can never happen again.
+func TestBuildCHDeterministic(t *testing.T) {
+	g := testGraph(t, 14, 14, 99)
+	a := BuildCH(g)
+	b := BuildCH(g)
+	if !reflect.DeepEqual(a.rank, b.rank) {
+		t.Fatal("contraction ranks differ between builds")
+	}
+	if !reflect.DeepEqual(a.upStart, b.upStart) || !reflect.DeepEqual(a.upTo, b.upTo) {
+		t.Fatal("upward arc topology differs between builds")
+	}
+	if !reflect.DeepEqual(a.upW, b.upW) {
+		t.Fatal("upward arc weights differ between builds")
+	}
+	if a.Shortcuts != b.Shortcuts {
+		t.Fatalf("shortcut counts differ: %d vs %d", a.Shortcuts, b.Shortcuts)
 	}
 }
 

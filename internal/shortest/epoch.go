@@ -52,9 +52,16 @@ type Versioned struct {
 	builtOK    bool // built answers for the current epoch
 	gen        uint64
 	rebuilding sync.WaitGroup
+	// cchSkel is the metric-independent CCH skeleton captured when the
+	// built tier is a CCH. Epoch advances then take the customize fast
+	// path: re-derive shortcut weights over this fixed skeleton instead of
+	// contracting from scratch. Snapshots share the base topology, so one
+	// skeleton serves every epoch. Guarded by mu.
+	cchSkel *CCHSkeleton
 
-	rebuilds      atomic.Uint64
-	lastRebuildNs atomic.Int64
+	rebuilds       atomic.Uint64
+	customizations atomic.Uint64
+	lastRebuildNs  atomic.Int64
 }
 
 // NewVersioned builds the strongest tier for g under budget (synchronously,
@@ -79,6 +86,9 @@ func AdoptVersioned(g *roadnet.Graph, base Oracle, kind AutoKind, budget AutoBud
 	v.built = lockIfStateful(base, kind)
 	v.builtKind = kind
 	v.builtOK = true
+	if c, ok := base.(*CCH); ok {
+		v.cchSkel = c.Skeleton()
+	}
 	v.epoch.Store(g.WeightEpoch())
 	return v
 }
@@ -100,6 +110,11 @@ func (v *Versioned) Epoch() uint64 { return v.epoch.Load() }
 
 // Rebuilds returns how many preprocessed-tier rebuilds have completed.
 func (v *Versioned) Rebuilds() uint64 { return v.rebuilds.Load() }
+
+// Customizations returns how many of those rebuilds took the CCH
+// customize fast path (re-deriving shortcut weights over the fixed
+// skeleton) rather than preprocessing from scratch.
+func (v *Versioned) Customizations() uint64 { return v.customizations.Load() }
 
 // LastRebuild returns the duration of the most recent completed rebuild
 // (0 before the first).
@@ -152,10 +167,15 @@ func (v *Versioned) Advance(g *roadnet.Graph, epoch uint64) {
 	v.live = NewLocked(NewBiDijkstra(g))
 	v.builtOK = false
 	v.epoch.Store(epoch)
+	if v.async {
+		// Registered while still holding the lock: a WaitRebuild issued
+		// after Advance returns must observe this rebuild, and Add must
+		// not race a concurrent Wait that has already drained to zero.
+		v.rebuilding.Add(1)
+	}
 	v.mu.Unlock()
 
 	if v.async {
-		v.rebuilding.Add(1)
 		go func() {
 			defer v.rebuilding.Done()
 			v.rebuild(g, gen)
@@ -165,19 +185,43 @@ func (v *Versioned) Advance(g *roadnet.Graph, epoch uint64) {
 	v.rebuild(g, gen)
 }
 
-// rebuild constructs the preprocessed tier for g and installs it if its
-// generation is still current.
+// rebuild re-derives the preprocessed tier for g and installs it if its
+// generation is still current. When the built tier is a CCH it takes the
+// customize fast path: snapshots from one Overlay share topology (and so
+// arc indexing), so re-deriving shortcut weights over the fixed skeleton
+// replaces a from-scratch contraction — milliseconds instead of seconds,
+// which is the point of the CCH tier (DESIGN.md §12).
 func (v *Versioned) rebuild(g *roadnet.Graph, gen uint64) {
 	start := time.Now()
-	base, kind := Auto(g, v.budget)
+	v.mu.RLock()
+	skel := v.cchSkel
+	v.mu.RUnlock()
+
+	var (
+		base Oracle
+		kind AutoKind
+	)
+	customized := false
+	if skel != nil && skel.NumVertices() == g.NumVertices() {
+		base, kind = skel.Customize(g.ArcCosts()), AutoCCH
+		customized = true
+	} else {
+		base, kind = Auto(g, v.budget)
+	}
 	o := lockIfStateful(base, kind)
 	v.mu.Lock()
 	if v.gen == gen {
 		v.built = o
 		v.builtKind = kind
 		v.builtOK = true
+		if c, ok := base.(*CCH); ok {
+			v.cchSkel = c.Skeleton()
+		}
 		v.lastRebuildNs.Store(time.Since(start).Nanoseconds())
 		v.rebuilds.Add(1)
+		if customized {
+			v.customizations.Add(1)
+		}
 	}
 	v.mu.Unlock()
 }

@@ -61,6 +61,7 @@ func TestVersionedMatchesDijkstraAcrossEpochs(t *testing.T) {
 	n := g.NumVertices()
 	budgets := map[string]AutoBudget{
 		"hub":        {MaxHubVertices: n, MaxCHVertices: n},
+		"cch":        {MaxHubVertices: 0, MaxCCHVertices: n, MaxCHVertices: n},
 		"ch":         {MaxHubVertices: 0, MaxCHVertices: n},
 		"bidijkstra": {MaxHubVertices: 0, MaxCHVertices: 0},
 	}
