@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json check golden fuzz serve-smoke
+.PHONY: all build vet test race bench-smoke bench bench-json check golden fuzz serve-smoke crash-smoke crash-chaos
 
 all: check
 
@@ -24,10 +24,10 @@ bench-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Headline benchmarks -> JSON trajectory artifact (BENCH_PR6.json).
+# Headline benchmarks -> JSON trajectory artifact (BENCH_PR7.json).
 # Override: make bench-json BENCHTIME=1x BENCHOUT=/tmp/bench.json
 BENCHTIME ?= 100x
-BENCHOUT ?= BENCH_PR6.json
+BENCHOUT ?= BENCH_PR7.json
 bench-json:
 	./scripts/bench-json.sh -t $(BENCHTIME) -o $(BENCHOUT)
 
@@ -48,11 +48,23 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadSnapshot -fuzztime 10s ./internal/serve
 	$(GO) test -run xxx -fuzz FuzzRequestBody -fuzztime 10s ./internal/serve
 	$(GO) test -run xxx -fuzz FuzzCCHCustomize -fuzztime 10s ./internal/shortest
+	$(GO) test -run xxx -fuzz FuzzReadWAL -fuzztime 10s ./internal/wal
 
 # End-to-end check of the online dispatch service: start urpsm-serve on a
 # fixture network, lockstep-replay 1500 requests (bit-identical to the
 # offline engine), graceful shutdown, snapshot warm restart.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# Crash-recovery equivalence: SIGKILL the real daemon at seeded points of
+# a 1500-request lockstep replay, restart on the same WAL dir, and require
+# the decision stream to be byte-identical to an uninterrupted run (which
+# itself must match the offline engine bit-exactly). Fixed seed for CI;
+# crash-chaos re-rolls the kill schedule every invocation.
+crash-smoke:
+	./scripts/crash-smoke.sh
+
+crash-chaos:
+	./scripts/crash-smoke.sh -s $$(date +%s) -k 8
 
 check: build vet test race

@@ -20,6 +20,7 @@ import (
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -516,5 +517,50 @@ func BenchmarkDecisionLowerBound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sc.LowerBound(rt, 1<<30, req, g, L)
+	}
+}
+
+// BenchmarkWALCommit measures the durability cost of the serve layer's
+// group commit (DESIGN.md §13.2): one admission batch = one commit
+// group = one fsync. Each iteration appends a full commit group (batch
+// header + group-size admission/decision pairs) and syncs it, so
+// records-per-fsync shows what batching buys: group=1 pays a whole
+// fsync per decision, group=64 amortizes it 64-fold. The fsync-per-op
+// figure is the real disk latency of the test machine — expect
+// milliseconds, not the nanoseconds of the in-memory append path.
+func BenchmarkWALCommit(b *testing.B) {
+	for _, group := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("group=%d", group), func(b *testing.B) {
+			l, err := wal.Create(b.TempDir()+"/wal.log", 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			adm := wal.Admission{ID: 1, Origin: 7, Dest: 9, Release: 100,
+				Deadline: 700, Penalty: 320.5, Capacity: 2}
+			dec := wal.Decision{ID: 1, Accepted: true, Worker: 3,
+				Delta: 142.75, SimTime: 100}
+			var admBuf, decBuf, batchBuf []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batchBuf = wal.AppendBatch(batchBuf[:0], group)
+				l.Append(wal.TypeBatch, batchBuf)
+				for j := 0; j < group; j++ {
+					admBuf = wal.AppendAdmission(admBuf[:0], adm)
+					l.Append(wal.TypeAdmission, admBuf)
+					decBuf = wal.AppendDecision(decBuf[:0], dec)
+					l.Append(wal.TypeDecision, decBuf)
+				}
+				if err := l.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed()
+			if b.N > 0 {
+				b.ReportMetric(float64(2*group), "records/fsync")
+				b.ReportMetric(elapsed.Seconds()/float64(b.N*group)*1e9, "ns/decision")
+			}
+		})
 	}
 }

@@ -12,7 +12,18 @@
 // writes the final state back on graceful shutdown (SIGINT/SIGTERM), so a
 // restart resumes exactly where the previous run stopped.
 //
-// API: POST /v1/requests, GET /v1/workers/{id}/route, GET /v1/stats,
+// With -wal DIR the daemon write-ahead-logs every admission, decision
+// and traffic update to DIR/wal.log (fsynced once per admission batch,
+// before any decision is acknowledged) and checkpoints to
+// DIR/checkpoint.json. After a crash — kill -9 included — a restart
+// replays the log tail through the same decide path as live traffic and
+// resumes with identical state; a torn tail is discarded at the last
+// complete commit group, which by construction holds nothing the server
+// ever acknowledged. -wal and -snapshot are mutually exclusive (the
+// checkpoint is the snapshot). See DESIGN.md §13 and FORMATS.md §7–8.
+//
+// API: POST /v1/requests, POST /v1/traffic, POST /v1/checkpoint,
+// GET /v1/workers/{id}/route, GET /v1/decisions/{id}, GET /v1/stats,
 // GET /v1/snapshot, GET /metrics (Prometheus text). See FORMATS.md §5.
 //
 // With -pprof ADDR the daemon additionally serves net/http/pprof on a
@@ -25,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -50,21 +62,27 @@ func main() {
 		gridKm      = flag.Float64("grid", 2, "grid cell size g in km")
 		alpha       = flag.Float64("alpha", 1, "unified-cost weight α")
 		snapshot    = flag.String("snapshot", "", "state file: restored at startup when present, written on graceful shutdown")
+		walDir      = flag.String("wal", "", "write-ahead-log directory: crash-safe durability with replay recovery (mutually exclusive with -snapshot)")
+		walCkpt     = flag.Int64("wal-checkpoint-bytes", serve.DefaultCheckpointBytes, "auto-checkpoint once the log exceeds this size (negative = explicit POST /v1/checkpoint only)")
 		asyncRb     = flag.Bool("async-rebuild", false, "rebuild the oracle in the background after POST /v1/traffic (live-tier queries meanwhile; mid-rebuild decisions lose bit-comparability; with -oracle cch the window is a millisecond customization, see DESIGN.md §11.4/§12)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 	if err := run(*netFile, *loadFile, *oracle, *addr, *batchWindow, *batchSize,
-		*parallel, *gridKm, *alpha, *snapshot, *pprofAddr, *asyncRb); err != nil {
+		*parallel, *gridKm, *alpha, *snapshot, *walDir, *walCkpt, *pprofAddr, *asyncRb); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-serve:", err)
 		os.Exit(1)
 	}
 }
 
 func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
-	batchSize, parallel int, gridKm, alpha float64, snapshotFile, pprofAddr string, asyncRebuild bool) error {
+	batchSize, parallel int, gridKm, alpha float64, snapshotFile, walDir string,
+	walCkptBytes int64, pprofAddr string, asyncRebuild bool) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load are required")
+	}
+	if walDir != "" && snapshotFile != "" {
+		return fmt.Errorf("-wal and -snapshot are mutually exclusive (the WAL checkpoint is the snapshot)")
 	}
 	if err := cliutil.CheckOracle(oracleKind); err != nil {
 		return err
@@ -103,6 +121,10 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		BatchSize:    batchSize,
 		Pool:         parallel,
 		AsyncRebuild: asyncRebuild,
+		WALDir:       walDir,
+	}
+	if walDir != "" {
+		cfg.CheckpointBytes = walCkptBytes
 	}
 	if snapshotFile != "" {
 		if sf, err := os.Open(snapshotFile); err == nil {
@@ -123,15 +145,28 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	if walDir != "" {
+		st := srv.Stats()
+		fmt.Printf("wal %s: recovered %d records (%d torn bytes discarded), state checkpointed\n",
+			walDir, st.WALRecovered, st.WALTornBytes)
+	}
+
+	// Listen explicitly so the line below reports the actual bound
+	// address: with -addr :0 (crash harness, tests) the kernel picks a
+	// free port and clients parse it from this print.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	fmt.Printf("urpsm-serve on %s: net=%s |V|=%d |E|=%d workers=%d oracle=%s algo=%s batch-window=%s batch-size=%d\n",
-		addr, netFile, g.NumVertices(), g.NumEdges(), len(inst.Workers),
+		ln.Addr(), netFile, g.NumVertices(), g.NumEdges(), len(inst.Workers),
 		resolved, srv.Planner(), batchWindow, batchSize)
 
 	errC := make(chan error, 1)
 	go func() {
-		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errC <- err
 		}
 	}()
@@ -180,33 +215,17 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		}
 	}
 	if snapshotFile != "" {
-		if err := writeSnapshotFile(snapshotFile, srv); err != nil {
+		if err := serve.SaveSnapshotFile(snapshotFile, srv.TakeSnapshot()); err != nil {
 			return err
 		}
 		fmt.Printf("wrote snapshot %s\n", snapshotFile)
+	}
+	if walDir != "" {
+		// Server.Shutdown took the final checkpoint and truncated the log.
+		fmt.Printf("wal %s: final checkpoint written\n", walDir)
 	}
 	st := srv.Stats()
 	fmt.Printf("served %d requests (%d accepted, %d rejected) over %d batches; unified cost %.0f\n",
 		st.Requests, st.Accepted, st.Rejected, st.Batches, st.UnifiedCost)
 	return nil
-}
-
-// writeSnapshotFile persists the final state atomically (temp + rename),
-// so a crash mid-write cannot corrupt the previous snapshot.
-func writeSnapshotFile(path string, srv *serve.Server) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := serve.WriteSnapshot(f, srv.TakeSnapshot()); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }

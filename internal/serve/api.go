@@ -92,10 +92,22 @@ type Stats struct {
 	// customize fast path (re-deriving shortcut weights over the fixed
 	// skeleton instead of preprocessing from scratch); LastRebuildMs is
 	// the duration of the most recent rebuild or customization.
-	OracleRebuilds       uint64    `json:"oracle_rebuilds"`
-	OracleCustomizations uint64    `json:"oracle_customizations"`
-	LastRebuildMs        float64   `json:"last_rebuild_ms"`
-	LatencyMs            LatencyMs `json:"latency_ms"`
+	OracleRebuilds       uint64  `json:"oracle_rebuilds"`
+	OracleCustomizations uint64  `json:"oracle_customizations"`
+	LastRebuildMs        float64 `json:"last_rebuild_ms"`
+	// WALEnabled reports whether the write-ahead log is on; the WAL*
+	// counters below are lifetime totals (zero when disabled).
+	// WALRecovered counts records replayed at the last startup, and
+	// WALTornBytes how many torn tail bytes that recovery discarded.
+	WALEnabled     bool      `json:"wal_enabled"`
+	WALRecords     uint64    `json:"wal_records"`
+	WALBytes       uint64    `json:"wal_bytes"`
+	WALSyncs       uint64    `json:"wal_syncs"`
+	WALCheckpoints uint64    `json:"wal_checkpoints"`
+	WALRecovered   int       `json:"wal_recovered"`
+	WALTornBytes   int       `json:"wal_torn_bytes"`
+	WALSizeBytes   int64     `json:"wal_size_bytes"`
+	LatencyMs      LatencyMs `json:"latency_ms"`
 }
 
 // TrafficRequest is the body of POST /v1/traffic.
@@ -188,8 +200,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/requests", s.handleRequest)
 	mux.HandleFunc("POST /v1/traffic", s.handleTraffic)
 	mux.HandleFunc("GET /v1/workers/{id}/route", s.handleWorkerRoute)
+	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -276,6 +290,39 @@ func (s *Server) handleWorkerRoute(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ws)
 }
 
+// handleDecision resolves the crashed-ack ambiguity after a restart: 200
+// with the stored decision when the request committed before the crash,
+// 404 when it never did (safe to resend). Only decisions inside the
+// bounded decided window are retained — see Server.DecisionFor.
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil || id < 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request id"})
+		return
+	}
+	d, ok := s.DecisionFor(int32(id))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("no retained decision for request %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// handleCheckpoint forces a durable snapshot checkpoint + log
+// truncation; 409 when the server runs without a WAL.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	res, err := s.Checkpoint()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrWALDisabled) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
@@ -344,6 +391,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP urpsm_oracle_rebuild_seconds Duration of the most recent oracle rebuild or customization.\n")
 	p("# TYPE urpsm_oracle_rebuild_seconds gauge\n")
 	p("urpsm_oracle_rebuild_seconds %g\n", st.LastRebuildMs/1e3)
+	walOn := 0
+	if st.WALEnabled {
+		walOn = 1
+	}
+	p("# HELP urpsm_wal_enabled Whether the write-ahead log is on.\n")
+	p("# TYPE urpsm_wal_enabled gauge\n")
+	p("urpsm_wal_enabled %d\n", walOn)
+	p("# HELP urpsm_wal_records_total WAL records appended.\n")
+	p("# TYPE urpsm_wal_records_total counter\n")
+	p("urpsm_wal_records_total %d\n", st.WALRecords)
+	p("# HELP urpsm_wal_bytes_total WAL record bytes appended.\n")
+	p("# TYPE urpsm_wal_bytes_total counter\n")
+	p("urpsm_wal_bytes_total %d\n", st.WALBytes)
+	p("# HELP urpsm_wal_syncs_total WAL group commits (one fsync per admission batch).\n")
+	p("# TYPE urpsm_wal_syncs_total counter\n")
+	p("urpsm_wal_syncs_total %d\n", st.WALSyncs)
+	p("# HELP urpsm_wal_checkpoints_total Durable snapshot checkpoints taken (startup included).\n")
+	p("# TYPE urpsm_wal_checkpoints_total counter\n")
+	p("urpsm_wal_checkpoints_total %d\n", st.WALCheckpoints)
+	p("# HELP urpsm_wal_recovered_records WAL records replayed at the last startup.\n")
+	p("# TYPE urpsm_wal_recovered_records gauge\n")
+	p("urpsm_wal_recovered_records %d\n", st.WALRecovered)
+	p("# HELP urpsm_wal_torn_bytes Torn tail bytes discarded at the last startup.\n")
+	p("# TYPE urpsm_wal_torn_bytes gauge\n")
+	p("urpsm_wal_torn_bytes %d\n", st.WALTornBytes)
+	p("# HELP urpsm_wal_size_bytes Live segment size since the last checkpoint.\n")
+	p("# TYPE urpsm_wal_size_bytes gauge\n")
+	p("urpsm_wal_size_bytes %d\n", st.WALSizeBytes)
 	p("# HELP urpsm_request_latency_milliseconds Admission-to-decision latency over recent requests.\n")
 	p("# TYPE urpsm_request_latency_milliseconds summary\n")
 	p("urpsm_request_latency_milliseconds{quantile=\"0.5\"} %g\n", st.LatencyMs.P50)

@@ -49,6 +49,7 @@ import (
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -80,6 +81,20 @@ type Config struct {
 	// Pool > 1 plans with the parallel dispatcher (bit-identical
 	// decisions, see internal/dispatch) using that many goroutines.
 	Pool int
+	// WALDir enables the write-ahead log: every externally visible event
+	// (admission batches, decisions, traffic updates, checkpoints) is
+	// appended to WALDir/wal.log and fsynced once per admission batch
+	// before any decision is acknowledged. On startup the server recovers
+	// from WALDir/checkpoint.json plus the log tail, replayed through the
+	// same event-loop code path as live traffic, then checkpoints and
+	// truncates the log — so after NewServer returns, the state is durably
+	// snapshotted and the segment is empty. Mutually exclusive with
+	// Snapshot (the checkpoint IS the snapshot). See DESIGN.md §13.
+	WALDir string
+	// CheckpointBytes auto-checkpoints (snapshot + log truncation) after
+	// a flush leaves the segment at least this large; 0 means
+	// DefaultCheckpointBytes, negative disables auto-checkpointing.
+	CheckpointBytes int64
 	// AsyncRebuild rebuilds the preprocessed oracle tier in the
 	// background after a traffic update, serving queries from a live
 	// bidirectional-Dijkstra tier meanwhile: POST /v1/traffic returns
@@ -102,6 +117,9 @@ type Config struct {
 
 // DefaultBatchWindow is the default admission-window bound.
 const DefaultBatchWindow = 20 * time.Millisecond
+
+// DefaultCheckpointBytes is the default WAL auto-checkpoint threshold.
+const DefaultCheckpointBytes = 8 << 20
 
 // DefaultBatchSize is the default early-flush batch size.
 const DefaultBatchSize = 64
@@ -140,8 +158,9 @@ type Server struct {
 	// qmu guards the admission queue (and the ID counter, so the POST
 	// path never waits on planning); smu guards platform state and
 	// decision counters. flush holds smu for a whole batch, so reads
-	// (stats, routes, snapshots) see batch-atomic state. The two are
-	// never nested.
+	// (stats, routes, snapshots) see batch-atomic state. The only
+	// permitted nesting is qmu briefly inside smu (snapshotLocked reads
+	// nextID); the reverse never occurs, so the order is deadlock-free.
 	qmu      sync.Mutex
 	pending  []*pending
 	seq      int64
@@ -165,9 +184,24 @@ type Server struct {
 	lateAdmissions int
 	latency        *latencyRing
 
-	wakeC chan struct{}
-	stopC chan struct{}
-	doneC chan struct{}
+	// WAL state (all under smu; nil wal means logging is disabled). The
+	// decided window carries every decision since the last checkpoint plus
+	// the final commit group before it, so a client whose ack was lost to a
+	// crash can resolve the ambiguity via GET /v1/decisions/{id}.
+	wal            *wal.Log
+	decided        map[int32]Decision
+	lastGroup      []int32
+	walRecovered   int
+	walTornBytes   int
+	walCheckpoints uint64
+	walScratch     []byte
+	flushScratch   []Decision
+
+	wakeC     chan struct{}
+	stopC     chan struct{}
+	doneC     chan struct{}
+	killC     chan struct{}
+	abortOnce sync.Once
 }
 
 // NewServer builds the fleet, planner and world and starts the event
@@ -191,6 +225,27 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.CheckpointBytes == 0 {
+		cfg.CheckpointBytes = DefaultCheckpointBytes
+	}
+
+	// WAL recovery, phase 1: the checkpoint becomes the warm-start
+	// snapshot and the segment tail is decoded (torn bytes discarded at
+	// the last complete record); the tail is replayed in phase 2, after
+	// the platform state exists to replay it against.
+	var walRecs []wal.Record
+	var walNext uint64
+	var walTorn int
+	if cfg.WALDir != "" {
+		if cfg.Snapshot != nil {
+			return nil, fmt.Errorf("serve: WALDir and Snapshot are mutually exclusive (the WAL checkpoint is the snapshot)")
+		}
+		sn, recs, next, torn, err := loadWALDir(cfg.WALDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Snapshot, walRecs, walNext, walTorn = sn, recs, next, torn
 	}
 
 	var workers []*core.Worker
@@ -260,6 +315,7 @@ func NewServer(cfg Config) (*Server, error) {
 		wakeC:          make(chan struct{}, 1),
 		stopC:          make(chan struct{}),
 		doneC:          make(chan struct{}),
+		killC:          make(chan struct{}),
 	}
 	if cfg.Snapshot != nil {
 		s.simTime = cfg.Snapshot.SimTime
@@ -274,6 +330,28 @@ func NewServer(cfg Config) (*Server, error) {
 		s.traffic.RestoreStats(len(cfg.Snapshot.Traffic), cfg.Snapshot.InfeasibleStops)
 	}
 	s.simTimeBits.Store(math.Float64bits(s.simTime))
+	if cfg.WALDir != "" {
+		// WAL recovery, phase 2: seed the decided window from the
+		// checkpoint, replay the log tail through the same decide path live
+		// traffic uses, then checkpoint and truncate — NewServer returns
+		// with the state durably snapshotted and the log empty.
+		s.decided = make(map[int32]Decision)
+		var after uint64
+		if cfg.Snapshot != nil {
+			after = cfg.Snapshot.WALSeq
+			for _, d := range cfg.Snapshot.LastDecisions {
+				s.decided[d.ID] = d
+				s.lastGroup = append(s.lastGroup, d.ID)
+			}
+		}
+		if err := s.replayWAL(walRecs, after); err != nil {
+			return nil, fmt.Errorf("serve: wal replay: %w", err)
+		}
+		s.walTornBytes = walTorn
+		if err := s.startWAL(walNext); err != nil {
+			return nil, fmt.Errorf("serve: wal start: %w", err)
+		}
+	}
 	go s.run()
 	return s, nil
 }
@@ -375,6 +453,11 @@ func (s *Server) run() {
 			disarm()
 			s.flush() // drain everything still pending
 			return
+		case <-s.killC:
+			// Crash simulation (Abort): stop without draining, exactly as
+			// if the process had been killed mid-flight.
+			disarm()
+			return
 		}
 		for {
 			s.qmu.Lock()
@@ -432,40 +515,94 @@ func (s *Server) flush() {
 	if len(batch) > s.maxBatch {
 		s.maxBatch = len(batch)
 	}
+	if s.wal != nil {
+		s.walScratch = wal.AppendBatch(s.walScratch[:0], len(batch))
+		s.wal.Append(wal.TypeBatch, s.walScratch)
+		s.lastGroup = s.lastGroup[:0]
+	}
+	ds := s.flushScratch[:0]
 	for _, p := range batch {
-		t := p.req.Release
-		if t < s.simTime {
-			// The event clock already passed this release (an out-of-order
-			// arrival across batches): plan it now, but record that the
-			// offline-equivalence premise was violated for this request.
-			t = s.simTime
-			s.lateAdmissions++
+		if s.wal != nil {
+			s.walScratch = wal.AppendAdmission(s.walScratch[:0], wal.Admission{
+				ID:       int32(p.req.ID),
+				Origin:   int64(p.req.Origin),
+				Dest:     int64(p.req.Dest),
+				Release:  p.req.Release,
+				Deadline: p.req.Deadline,
+				Penalty:  p.req.Penalty,
+				Capacity: int32(p.req.Capacity),
+			})
+			s.wal.Append(wal.TypeAdmission, s.walScratch)
 		}
-		s.simTime = t
-		s.simTimeBits.Store(math.Float64bits(t))
-		s.world.AdvanceAll(t)
-		res := s.planner.OnRequest(t, p.req)
-		d := Decision{
-			ID:      int32(p.req.ID),
-			Worker:  -1,
-			SimTime: t,
-			Batch:   s.batches,
-		}
-		if res.Served {
-			s.accepted++
-			s.world.MarkDirty(res.Worker)
-			d.Accepted = true
-			d.Worker = int32(res.Worker)
-			d.Delta = res.Delta
-			d.PickupETA, d.DropoffETA = stopETAs(&s.fleet.Workers[res.Worker].Route, p.req.ID)
-		} else {
-			s.rejected++
-			s.penaltySum += p.req.Penalty
-		}
+		d := s.decideLocked(p.req)
 		d.WaitMs = float64(time.Since(p.enq).Nanoseconds()) / 1e6
 		s.latency.observe(d.WaitMs)
-		p.done <- d
+		if s.wal != nil {
+			s.walScratch = wal.AppendDecision(s.walScratch[:0], wal.Decision{
+				ID: d.ID, Accepted: d.Accepted, Worker: d.Worker, Delta: d.Delta, SimTime: d.SimTime,
+			})
+			s.wal.Append(wal.TypeDecision, s.walScratch)
+			s.decided[d.ID] = d
+			s.lastGroup = append(s.lastGroup, d.ID)
+		}
+		ds = append(ds, d)
 	}
+	// Group commit: one fsync makes the whole commit group durable, and no
+	// decision is acknowledged before it. A sync failure is fail-stop —
+	// acknowledging a non-durable decision would break the recovery
+	// contract, so the server refuses to continue.
+	if s.wal != nil {
+		if err := s.wal.Sync(); err != nil {
+			panic(fmt.Sprintf("serve: wal sync: %v", err))
+		}
+	}
+	for i, p := range batch {
+		p.done <- ds[i]
+	}
+	s.flushScratch = ds[:0]
+	if s.wal != nil && s.cfg.CheckpointBytes > 0 && s.wal.Size() >= s.cfg.CheckpointBytes {
+		if _, err := s.checkpointLocked(); err != nil {
+			panic(fmt.Sprintf("serve: wal auto-checkpoint: %v", err))
+		}
+	}
+}
+
+// decideLocked advances the world to the request's effective time and
+// plans it — the one decide path live admission, drain and WAL replay
+// all share, which is what turns crash recovery into just another
+// replay (DESIGN.md §13). Caller holds smu (or is the single-threaded
+// pre-loop recovery).
+func (s *Server) decideLocked(req *core.Request) Decision {
+	t := req.Release
+	if t < s.simTime {
+		// The event clock already passed this release (an out-of-order
+		// arrival across batches): plan it now, but record that the
+		// offline-equivalence premise was violated for this request.
+		t = s.simTime
+		s.lateAdmissions++
+	}
+	s.simTime = t
+	s.simTimeBits.Store(math.Float64bits(t))
+	s.world.AdvanceAll(t)
+	res := s.planner.OnRequest(t, req)
+	d := Decision{
+		ID:      int32(req.ID),
+		Worker:  -1,
+		SimTime: t,
+		Batch:   s.batches,
+	}
+	if res.Served {
+		s.accepted++
+		s.world.MarkDirty(res.Worker)
+		d.Accepted = true
+		d.Worker = int32(res.Worker)
+		d.Delta = res.Delta
+		d.PickupETA, d.DropoffETA = stopETAs(&s.fleet.Workers[res.Worker].Route, req.ID)
+	} else {
+		s.rejected++
+		s.penaltySum += req.Penalty
+	}
+	return d
 }
 
 // stopETAs finds the planned arrival times at the request's pickup and
@@ -505,6 +642,21 @@ func (s *Server) ApplyTraffic(at *float64, ups []roadnet.TrafficUpdate) (Traffic
 	s.simTime = t
 	s.simTimeBits.Store(math.Float64bits(t))
 	s.trafficHistory = append(s.trafficHistory, append([]roadnet.TrafficUpdate(nil), ups...))
+	if s.wal != nil {
+		// Log the update as applied (effective time and epoch resolved) and
+		// sync before acknowledging — a crashed client may blindly resend,
+		// which is safe because factors set multipliers relative to the base
+		// weights, so a duplicate apply reproduces identical weights.
+		body, err := wal.AppendTraffic(s.walScratch[:0], wal.Traffic{At: t, Epoch: res.Epoch, Updates: ups})
+		if err != nil {
+			panic(fmt.Sprintf("serve: wal traffic encode: %v", err))
+		}
+		s.walScratch = body
+		s.wal.Append(wal.TypeTraffic, body)
+		if err := s.wal.Sync(); err != nil {
+			panic(fmt.Sprintf("serve: wal sync: %v", err))
+		}
+	}
 	return TrafficResult{
 		Epoch:           res.Epoch,
 		SimTime:         t,
@@ -527,9 +679,39 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	select {
 	case <-s.doneC:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	// The loop has drained; take a final checkpoint so a restart replays
+	// nothing, and close the segment.
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.checkpointLocked()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}
+
+// Abort stops the server as a crash would: the event loop exits without
+// draining, buffered unsynced WAL records are dropped and no checkpoint
+// is taken — the in-process equivalent of kill -9, used by recovery
+// tests. Safe to call more than once.
+func (s *Server) Abort() {
+	s.qmu.Lock()
+	s.draining = true
+	s.qmu.Unlock()
+	s.abortOnce.Do(func() { close(s.killC) })
+	<-s.doneC
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	if s.wal != nil {
+		s.wal.Abort()
+		s.wal = nil
 	}
 }
 
@@ -572,6 +754,14 @@ func (s *Server) Stats() Stats {
 	st.LatencyMs.P50 = s.latency.percentile(0.50)
 	st.LatencyMs.P95 = s.latency.percentile(0.95)
 	st.LatencyMs.P99 = s.latency.percentile(0.99)
+	if s.wal != nil {
+		st.WALEnabled = true
+		st.WALRecords, st.WALBytes, st.WALSyncs = s.wal.Stats()
+		st.WALSizeBytes = s.wal.Size()
+	}
+	st.WALCheckpoints = s.walCheckpoints
+	st.WALRecovered = s.walRecovered
+	st.WALTornBytes = s.walTornBytes
 	return st
 }
 
@@ -588,11 +778,17 @@ func (s *Server) WorkerRoute(id core.WorkerID) (core.WorkerState, bool) {
 // TakeSnapshot captures the full serving state for crash recovery and
 // warm restarts (FORMATS.md §5).
 func (s *Server) TakeSnapshot() *Snapshot {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked builds the snapshot under smu (qmu is briefly nested
+// for the ID counter — the one sanctioned nesting order).
+func (s *Server) snapshotLocked() *Snapshot {
 	s.qmu.Lock()
 	nextID := s.nextID
 	s.qmu.Unlock()
-	s.smu.Lock()
-	defer s.smu.Unlock()
 	sn := &Snapshot{
 		Format:          SnapshotFormat,
 		Version:         SnapshotVersion,

@@ -12,10 +12,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/roadnet"
+	"repro/internal/wal"
 )
 
 // SnapshotFormat is the format discriminator of a snapshot file.
@@ -51,6 +54,13 @@ type Snapshot struct {
 	InfeasibleStops int                       `json:"infeasible_stops"`
 	Workers         []core.WorkerState        `json:"workers"`
 	Traffic         [][]roadnet.TrafficUpdate `json:"traffic,omitempty"`
+	// WALSeq is set on WAL checkpoints: the log sequence number this
+	// snapshot covers through. Recovery skips WAL records at or below it.
+	WALSeq uint64 `json:"wal_lsn,omitempty"`
+	// LastDecisions is set on WAL checkpoints: the final commit group's
+	// decisions, retained so a client whose ack a crash swallowed can
+	// still resolve its in-flight request via GET /v1/decisions/{id}.
+	LastDecisions []Decision `json:"last_decisions,omitempty"`
 }
 
 // WriteSnapshot serializes sn as indented JSON with a trailing newline;
@@ -63,6 +73,36 @@ func WriteSnapshot(w io.Writer, sn *Snapshot) error {
 	data = append(data, '\n')
 	_, err = w.Write(data)
 	return err
+}
+
+// SaveSnapshotFile writes a snapshot to path with full crash-safe
+// discipline: temp file in the same directory, fsync the file, rename
+// over the target, fsync the parent directory. A reader never observes a
+// partial snapshot, and after SaveSnapshotFile returns the new content
+// survives power loss — rename alone guarantees neither (the rename may
+// land before the data, or be lost with the directory update).
+func SaveSnapshotFile(path string, sn *Snapshot) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	err = WriteSnapshot(f, sn)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return wal.SyncDir(dir)
 }
 
 // ReadSnapshot parses a snapshot, checking the format discriminator, the

@@ -1,0 +1,83 @@
+package wal
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden WAL fixture")
+
+// goldenRecords is a fixed event sequence covering every record type:
+// one checkpointed segment tail with a two-request commit group and a
+// traffic epoch advance. The encoding is pinned byte-stable by
+// testdata/golden.wal (FORMATS.md §8); regenerate after a deliberate
+// format change with:
+//
+//	go test ./internal/wal -run Golden -update
+func goldenRecords(t *testing.T) []Record {
+	t.Helper()
+	tr, err := AppendTraffic(nil, Traffic{
+		At:    300,
+		Epoch: 1,
+		Updates: []roadnet.TrafficUpdate{
+			{Factor: 1.5},
+			{Factor: 2.5, Class: "motorway", BBox: []float64{0, 0, 4000, 4000}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Record{
+		{LSN: 3, Type: TypeBatch, Body: AppendBatch(nil, 2)},
+		{LSN: 4, Type: TypeAdmission, Body: AppendAdmission(nil, Admission{
+			ID: 7, Origin: 42, Dest: 9, Release: 120.5, Deadline: 700, Penalty: 320.25, Capacity: 2})},
+		{LSN: 5, Type: TypeDecision, Body: AppendDecision(nil, Decision{
+			ID: 7, Accepted: true, Worker: 3, Delta: 182.125, SimTime: 120.5})},
+		{LSN: 6, Type: TypeAdmission, Body: AppendAdmission(nil, Admission{
+			ID: 8, Origin: 9, Dest: 42, Release: 120.5, Deadline: 400, Penalty: 95, Capacity: 1})},
+		{LSN: 7, Type: TypeDecision, Body: AppendDecision(nil, Decision{
+			ID: 8, Accepted: false, Worker: -1, Delta: 0, SimTime: 120.5})},
+		{LSN: 8, Type: TypeTraffic, Body: tr},
+		{LSN: 9, Type: TypeCheckpoint, Body: nil},
+	}
+}
+
+func TestGoldenSegment(t *testing.T) {
+	want := buildSegment(3, goldenRecords(t))
+	path := filepath.Join("testdata", "golden.wal")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden WAL fixture drifted: encoding %d bytes != fixture %d bytes; "+
+			"if the format change is deliberate, regenerate with -update and document it in FORMATS.md §8",
+			len(want), len(got))
+	}
+	start, recs, clean, err := DecodeSegment(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 3 || clean != len(got) || len(recs) != 7 {
+		t.Fatalf("golden decode: start=%d clean=%d recs=%d", start, clean, len(recs))
+	}
+	if d, err := DecodeDecision(recs[2].Body); err != nil || d.Delta != 182.125 {
+		t.Fatalf("golden decision: %+v err=%v", d, err)
+	}
+	if tr, err := DecodeTraffic(recs[5].Body); err != nil || tr.Epoch != 1 || len(tr.Updates) != 2 {
+		t.Fatalf("golden traffic: %+v err=%v", tr, err)
+	}
+}

@@ -1,0 +1,55 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/roadnet"
+)
+
+// Traffic is the TypeTraffic body: one applied epoch advance. At is the
+// effective event time (already resolved through the max(clock, at)
+// rule), Epoch the epoch the advance produced, and Updates the batch in
+// the same JSON encoding POST /v1/traffic and the snapshot history use
+// (FORMATS.md §6), so one decoder serves all three surfaces.
+type Traffic struct {
+	At      float64
+	Epoch   uint64
+	Updates []roadnet.TrafficUpdate
+}
+
+// AppendTraffic appends a traffic body to dst: at bits, epoch, then the
+// JSON update batch.
+func AppendTraffic(dst []byte, t Traffic) ([]byte, error) {
+	js, err := json.Marshal(t.Updates)
+	if err != nil {
+		return dst, err
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(t.At))
+	dst = binary.LittleEndian.AppendUint64(dst, t.Epoch)
+	return append(dst, js...), nil
+}
+
+// DecodeTraffic parses a traffic body. Structural checks only — the
+// updates are validated against the graph when replayed.
+func DecodeTraffic(body []byte) (Traffic, error) {
+	if len(body) < 16 {
+		return Traffic{}, fmt.Errorf("wal: traffic body is %d bytes (want >= 16)", len(body))
+	}
+	t := Traffic{
+		At:    math.Float64frombits(binary.LittleEndian.Uint64(body[0:])),
+		Epoch: binary.LittleEndian.Uint64(body[8:]),
+	}
+	if math.IsNaN(t.At) || math.IsInf(t.At, 0) {
+		return Traffic{}, fmt.Errorf("wal: non-finite traffic time")
+	}
+	if err := json.Unmarshal(body[16:], &t.Updates); err != nil {
+		return Traffic{}, fmt.Errorf("wal: bad traffic updates: %w", err)
+	}
+	if len(t.Updates) == 0 {
+		return Traffic{}, fmt.Errorf("wal: empty traffic update batch")
+	}
+	return t, nil
+}

@@ -1,0 +1,456 @@
+// Package wal is the write-ahead log of the online dispatch service: an
+// append-only, length-prefixed, CRC-framed record of every externally
+// visible event the server consumes — admission batches, per-request
+// admissions and decisions, traffic updates and snapshot checkpoints
+// (FORMATS.md §8). The serve layer appends events as it processes them
+// and fsyncs once per admission batch (group commit), so recovery can
+// reconstruct the exact serving state by replaying the tail through the
+// same event-loop code path as live traffic (DESIGN.md §13).
+//
+// # Framing
+//
+// A segment file starts with a fixed header:
+//
+//	magic    [8]byte  "URPSMWAL"
+//	version  uint32   1
+//	startLSN uint64   LSN of the first record in this segment
+//
+// followed by records, each framed as:
+//
+//	length  uint32  byte length of the payload (9 + len(body))
+//	crc     uint32  CRC-32C (Castagnoli) of the payload
+//	payload         lsn uint64 | type byte | body
+//
+// All integers are little-endian. LSNs are assigned consecutively: the
+// i-th record of a segment has LSN startLSN+i, and the reader rejects
+// anything else. A torn or truncated tail — short frame, bad CRC, bad
+// length, non-consecutive LSN — is not an error: the reader stops at the
+// last complete record and reports the clean byte offset, so recovery can
+// discard the tail and truncate there. Only a mangled segment header is a
+// hard error, because then nothing about the file can be trusted.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Record type bytes. The zero type is reserved as invalid so an
+// all-zeroes torn region can never frame-check.
+const (
+	// TypeBatch opens a commit group of Count admission/decision pairs;
+	// the group is the atomic unit of recovery (an incomplete trailing
+	// group is discarded whole, since its decisions can never have been
+	// acknowledged — the ack happens only after the group's fsync).
+	TypeBatch byte = 1
+	// TypeAdmission is one request as it entered planning (release
+	// already resolved against the event clock's "now" default).
+	TypeAdmission byte = 2
+	// TypeDecision is the planner's verdict for the immediately
+	// preceding admission; recovery regenerates it by replay and treats
+	// any mismatch as corruption.
+	TypeDecision byte = 3
+	// TypeTraffic is one applied traffic epoch advance: effective time,
+	// resulting epoch, and the update batch in the PR 5 JSON encoding.
+	TypeTraffic byte = 4
+	// TypeCheckpoint marks that a durable snapshot checkpoint covers
+	// every record up to and including this one; it closes a segment.
+	TypeCheckpoint byte = 5
+)
+
+const (
+	magic = "URPSMWAL"
+	// SegmentVersion is the current on-disk segment format version.
+	SegmentVersion = 1
+	// HeaderSize is the byte length of the segment header.
+	HeaderSize = 8 + 4 + 8
+	// frameOverhead is the length+crc prefix of each record frame.
+	frameOverhead = 8
+	// payloadPrefix is the lsn+type prefix of each record payload.
+	payloadPrefix = 9
+	// MaxBodyBytes bounds one record body; a frame declaring more is
+	// treated as torn garbage rather than allocated.
+	MaxBodyBytes = 1 << 26
+)
+
+// castagnoli is the CRC-32C table (the polynomial used by ext4, iSCSI
+// and most storage formats; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Record is one decoded WAL record. Body aliases the scanned buffer; it
+// is valid as long as the buffer is.
+type Record struct {
+	LSN  uint64
+	Type byte
+	Body []byte
+}
+
+// AppendHeader appends a segment header to dst.
+func AppendHeader(dst []byte, startLSN uint64) []byte {
+	dst = append(dst, magic...)
+	dst = binary.LittleEndian.AppendUint32(dst, SegmentVersion)
+	dst = binary.LittleEndian.AppendUint64(dst, startLSN)
+	return dst
+}
+
+// DecodeHeader checks the magic and version of a segment and returns its
+// start LSN.
+func DecodeHeader(data []byte) (startLSN uint64, err error) {
+	if len(data) < HeaderSize {
+		return 0, fmt.Errorf("wal: short segment header (%d bytes)", len(data))
+	}
+	if string(data[:8]) != magic {
+		return 0, fmt.Errorf("wal: bad magic %q", data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != SegmentVersion {
+		return 0, fmt.Errorf("wal: unsupported segment version %d (want %d)", v, SegmentVersion)
+	}
+	return binary.LittleEndian.Uint64(data[12:20]), nil
+}
+
+// AppendRecord appends one framed record to dst.
+func AppendRecord(dst []byte, lsn uint64, typ byte, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadPrefix+len(body)))
+	crcAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // crc placeholder
+	payloadAt := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, lsn)
+	dst = append(dst, typ)
+	dst = append(dst, body...)
+	crc := crc32.Checksum(dst[payloadAt:], castagnoli)
+	binary.LittleEndian.PutUint32(dst[crcAt:], crc)
+	return dst
+}
+
+// Scanner iterates the records of a segment, stopping cleanly at the
+// first torn or invalid frame.
+type Scanner struct {
+	data  []byte
+	off   int    // offset just past the last complete record
+	next  uint64 // expected LSN of the next record
+	start uint64
+	rec   Record
+}
+
+// NewScanner validates the segment header of data and returns a scanner
+// positioned at the first record.
+func NewScanner(data []byte) (*Scanner, error) {
+	start, err := DecodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Scanner{data: data, off: HeaderSize, next: start, start: start}, nil
+}
+
+// StartLSN returns the segment's first LSN (from the header).
+func (s *Scanner) StartLSN() uint64 { return s.start }
+
+// Offset returns the byte offset just past the last complete record —
+// the length recovery should truncate a torn segment to.
+func (s *Scanner) Offset() int { return s.off }
+
+// Next decodes the next record. It returns false at the end of the
+// complete prefix: clean EOF, short frame, bad length, bad CRC,
+// non-consecutive LSN or reserved type — all are treated as the torn
+// tail, never as a panic.
+func (s *Scanner) Next() bool {
+	rest := s.data[s.off:]
+	if len(rest) < frameOverhead {
+		return false
+	}
+	n := binary.LittleEndian.Uint32(rest[:4])
+	if n < payloadPrefix || n > payloadPrefix+MaxBodyBytes {
+		return false
+	}
+	if uint32(len(rest)-frameOverhead) < n {
+		return false
+	}
+	payload := rest[frameOverhead : frameOverhead+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+		return false
+	}
+	lsn := binary.LittleEndian.Uint64(payload[:8])
+	typ := payload[8]
+	if lsn != s.next || typ == 0 {
+		return false
+	}
+	s.rec = Record{LSN: lsn, Type: typ, Body: payload[payloadPrefix:]}
+	s.off += frameOverhead + int(n)
+	s.next++
+	return true
+}
+
+// Record returns the record decoded by the last successful Next.
+func (s *Scanner) Record() Record { return s.rec }
+
+// DecodeSegment decodes a whole segment: its start LSN, every complete
+// record, and the clean byte offset (len(data) when nothing is torn).
+// Arbitrary bytes never panic; only an invalid header errors.
+func DecodeSegment(data []byte) (startLSN uint64, recs []Record, clean int, err error) {
+	s, err := NewScanner(data)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	for s.Next() {
+		recs = append(recs, s.Record())
+	}
+	return s.start, recs, s.Offset(), nil
+}
+
+// SegmentName is the live segment's file name inside a WAL directory.
+const SegmentName = "wal.log"
+
+// CheckpointName is the durable snapshot checkpoint's file name inside a
+// WAL directory (a serve snapshot, FORMATS.md §5, carrying wal_lsn).
+const CheckpointName = "checkpoint.json"
+
+// Log is the live WAL segment writer. Append buffers records in memory;
+// Sync writes and fsyncs them in one batch (group commit). The steady
+// state appends reuse one grown-never-shrunk buffer, so logging adds no
+// per-request allocations to the planning path.
+type Log struct {
+	path    string
+	f       *os.File
+	buf     []byte // framed records not yet written to the file
+	next    uint64 // LSN of the next record
+	size    int64  // segment bytes including buffered records
+	records uint64
+	bytes   uint64
+	syncs   uint64
+}
+
+// Create atomically creates a fresh segment at path (temp + fsync +
+// rename + parent-dir fsync) whose first record will carry startLSN, and
+// returns it open for appending.
+func Create(path string, startLSN uint64) (*Log, error) {
+	f, err := createSegmentFile(path, startLSN)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{path: path, f: f, next: startLSN, size: HeaderSize}, nil
+}
+
+func createSegmentFile(path string, startLSN uint64) (*os.File, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	hdr := AppendHeader(make([]byte, 0, HeaderSize), startLSN)
+	if _, err := f.Write(hdr); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	// The fd still refers to the renamed file; fsync the directory so the
+	// rename itself survives power loss.
+	if err := SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// SyncDir fsyncs a directory, making renames and creates inside it
+// durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Append buffers one record and returns its LSN. The record is not
+// durable (or even written) until the next Sync.
+func (l *Log) Append(typ byte, body []byte) uint64 {
+	lsn := l.next
+	before := len(l.buf)
+	l.buf = AppendRecord(l.buf, lsn, typ, body)
+	n := len(l.buf) - before
+	l.next++
+	l.size += int64(n)
+	l.records++
+	l.bytes += uint64(n)
+	return lsn
+}
+
+// Sync writes every buffered record and fsyncs the segment — one group
+// commit. A no-op when nothing is buffered.
+func (l *Log) Sync() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.buf = l.buf[:0]
+	l.syncs++
+	return nil
+}
+
+// Rotate replaces the segment with a fresh one starting at startLSN,
+// atomically (the old segment stays intact until the new one is durably
+// in place). Buffered records must have been synced first.
+func (l *Log) Rotate(startLSN uint64) error {
+	if len(l.buf) != 0 {
+		return fmt.Errorf("wal: rotate with %d unsynced bytes", len(l.buf))
+	}
+	f, err := createSegmentFile(l.path, startLSN)
+	if err != nil {
+		return err
+	}
+	l.f.Close()
+	l.f = f
+	l.next = startLSN
+	l.size = HeaderSize
+	return nil
+}
+
+// NextLSN returns the LSN the next Append will get.
+func (l *Log) NextLSN() uint64 { return l.next }
+
+// Size returns the segment length in bytes, buffered records included.
+func (l *Log) Size() int64 { return l.size }
+
+// Stats returns lifetime counters: records appended, record bytes
+// appended, and syncs performed (across rotations).
+func (l *Log) Stats() (records, bytes, syncs uint64) {
+	return l.records, l.bytes, l.syncs
+}
+
+// Close syncs any buffered records and closes the segment.
+func (l *Log) Close() error {
+	if err := l.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Abort closes the segment WITHOUT syncing buffered records — the
+// in-process equivalent of kill -9, used by crash tests.
+func (l *Log) Abort() { l.f.Close() }
+
+// Admission is the TypeAdmission body: one request as admitted, release
+// already resolved. The fixed 48-byte layout is id, origin, dest,
+// release, deadline, penalty, capacity.
+type Admission struct {
+	ID       int32
+	Origin   int64
+	Dest     int64
+	Release  float64
+	Deadline float64
+	Penalty  float64
+	Capacity int32
+}
+
+const admissionLen = 4 + 8 + 8 + 8 + 8 + 8 + 4
+
+// AppendAdmission appends an admission body to dst.
+func AppendAdmission(dst []byte, a Admission) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.ID))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(a.Origin))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(a.Dest))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Release))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Deadline))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Penalty))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(a.Capacity))
+	return dst
+}
+
+// DecodeAdmission parses an admission body.
+func DecodeAdmission(body []byte) (Admission, error) {
+	if len(body) != admissionLen {
+		return Admission{}, fmt.Errorf("wal: admission body is %d bytes (want %d)", len(body), admissionLen)
+	}
+	return Admission{
+		ID:       int32(binary.LittleEndian.Uint32(body[0:])),
+		Origin:   int64(binary.LittleEndian.Uint64(body[4:])),
+		Dest:     int64(binary.LittleEndian.Uint64(body[12:])),
+		Release:  math.Float64frombits(binary.LittleEndian.Uint64(body[20:])),
+		Deadline: math.Float64frombits(binary.LittleEndian.Uint64(body[28:])),
+		Penalty:  math.Float64frombits(binary.LittleEndian.Uint64(body[36:])),
+		Capacity: int32(binary.LittleEndian.Uint32(body[44:])),
+	}, nil
+}
+
+// Decision is the TypeDecision body: the planner's verdict for the
+// preceding admission. The fixed 25-byte layout is id, accepted, worker,
+// delta, simtime (float bits, so equality is bit-exact).
+type Decision struct {
+	ID       int32
+	Accepted bool
+	Worker   int32
+	Delta    float64
+	SimTime  float64
+}
+
+const decisionLen = 4 + 1 + 4 + 8 + 8
+
+// AppendDecision appends a decision body to dst.
+func AppendDecision(dst []byte, d Decision) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(d.ID))
+	acc := byte(0)
+	if d.Accepted {
+		acc = 1
+	}
+	dst = append(dst, acc)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(d.Worker))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.Delta))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(d.SimTime))
+	return dst
+}
+
+// DecodeDecision parses a decision body.
+func DecodeDecision(body []byte) (Decision, error) {
+	if len(body) != decisionLen {
+		return Decision{}, fmt.Errorf("wal: decision body is %d bytes (want %d)", len(body), decisionLen)
+	}
+	if body[4] > 1 {
+		return Decision{}, fmt.Errorf("wal: decision accepted byte %d", body[4])
+	}
+	return Decision{
+		ID:       int32(binary.LittleEndian.Uint32(body[0:])),
+		Accepted: body[4] == 1,
+		Worker:   int32(binary.LittleEndian.Uint32(body[5:])),
+		Delta:    math.Float64frombits(binary.LittleEndian.Uint64(body[9:])),
+		SimTime:  math.Float64frombits(binary.LittleEndian.Uint64(body[17:])),
+	}, nil
+}
+
+// AppendBatch appends a TypeBatch body: the commit group's pair count.
+func AppendBatch(dst []byte, count int) []byte {
+	return binary.LittleEndian.AppendUint32(dst, uint32(count))
+}
+
+// DecodeBatch parses a batch body.
+func DecodeBatch(body []byte) (count int, err error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("wal: batch body is %d bytes (want 4)", len(body))
+	}
+	n := binary.LittleEndian.Uint32(body)
+	if n == 0 || n > 1<<24 {
+		return 0, fmt.Errorf("wal: batch count %d out of range", n)
+	}
+	return int(n), nil
+}

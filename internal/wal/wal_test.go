@@ -1,0 +1,316 @@
+package wal
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// buildSegment encodes a header plus records into one byte slice, the
+// way a synced Log would lay them out.
+func buildSegment(startLSN uint64, recs []Record) []byte {
+	data := AppendHeader(nil, startLSN)
+	for _, r := range recs {
+		data = AppendRecord(data, r.LSN, r.Type, r.Body)
+	}
+	return data
+}
+
+func sampleRecords(t *testing.T) []Record {
+	t.Helper()
+	adm := AppendAdmission(nil, Admission{ID: 7, Origin: 42, Dest: 9, Release: 100.5, Deadline: 700, Penalty: 320.25, Capacity: 2})
+	dec := AppendDecision(nil, Decision{ID: 7, Accepted: true, Worker: 3, Delta: 182.125, SimTime: 100.5})
+	tr, err := AppendTraffic(nil, Traffic{At: 300, Epoch: 1, Updates: []roadnet.TrafficUpdate{{Factor: 1.5, Class: "motorway"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Record{
+		{LSN: 5, Type: TypeBatch, Body: AppendBatch(nil, 1)},
+		{LSN: 6, Type: TypeAdmission, Body: adm},
+		{LSN: 7, Type: TypeDecision, Body: dec},
+		{LSN: 8, Type: TypeTraffic, Body: tr},
+		{LSN: 9, Type: TypeCheckpoint, Body: nil},
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	want := sampleRecords(t)
+	data := buildSegment(5, want)
+	start, got, clean, err := DecodeSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 5 {
+		t.Fatalf("start LSN %d, want 5", start)
+	}
+	if clean != len(data) {
+		t.Fatalf("clean offset %d, want %d", clean, len(data))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].LSN != want[i].LSN || got[i].Type != want[i].Type || !bytes.Equal(got[i].Body, want[i].Body) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBytePrefixProperty is the torn-write property at the framing
+// level: for EVERY byte-prefix of a valid segment, decoding recovers
+// exactly the records whose frames are complete — never a partial
+// record, never a panic, and the clean offset is exactly the end of the
+// last complete frame.
+func TestBytePrefixProperty(t *testing.T) {
+	recs := sampleRecords(t)
+	data := buildSegment(5, recs)
+
+	// Frame end offsets, computed independently by re-encoding.
+	ends := []int{HeaderSize}
+	acc := AppendHeader(nil, 5)
+	for _, r := range recs {
+		acc = AppendRecord(acc, r.LSN, r.Type, r.Body)
+		ends = append(ends, len(acc))
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		prefix := data[:cut]
+		if cut < HeaderSize {
+			if _, _, _, err := DecodeSegment(prefix); err == nil {
+				t.Fatalf("cut %d: short header decoded without error", cut)
+			}
+			continue
+		}
+		_, got, clean, err := DecodeSegment(prefix)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		wantN := 0
+		for wantN+1 < len(ends) && ends[wantN+1] <= cut {
+			wantN++
+		}
+		if len(got) != wantN {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(got), wantN)
+		}
+		if clean != ends[wantN] {
+			t.Fatalf("cut %d: clean offset %d, want %d", cut, clean, ends[wantN])
+		}
+	}
+}
+
+// TestCorruptionStopsScan flips single bytes and checks the scan stops
+// at (or before) the corrupted frame instead of decoding garbage.
+func TestCorruptionStopsScan(t *testing.T) {
+	recs := sampleRecords(t)
+	data := buildSegment(5, recs)
+	for pos := HeaderSize; pos < len(data); pos++ {
+		mut := append([]byte(nil), data...)
+		mut[pos] ^= 0xff
+		_, got, _, err := DecodeSegment(mut)
+		if err != nil {
+			t.Fatalf("pos %d: header error on body corruption: %v", pos, err)
+		}
+		// The corrupted byte lives in frame k; everything before k must
+		// still decode, frame k and beyond must not.
+		frame := 0
+		acc := HeaderSize
+		for i := range recs {
+			next := len(AppendRecord(nil, recs[i].LSN, recs[i].Type, recs[i].Body))
+			if pos < acc+next {
+				frame = i
+				break
+			}
+			acc += next
+		}
+		if len(got) > frame {
+			t.Fatalf("pos %d: decoded %d records past corrupted frame %d", pos, len(got), frame)
+		}
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	if _, _, _, err := DecodeSegment([]byte("URPSMWA")); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, _, _, err := DecodeSegment(buildSegment(0, nil)[:HeaderSize]); err != nil {
+		t.Fatalf("valid empty segment rejected: %v", err)
+	}
+	bad := buildSegment(0, nil)
+	bad[0] = 'X'
+	if _, _, _, err := DecodeSegment(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badv := buildSegment(0, nil)
+	badv[8] = 99
+	if _, _, _, err := DecodeSegment(badv); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestNonConsecutiveLSNStopsScan(t *testing.T) {
+	data := AppendHeader(nil, 5)
+	data = AppendRecord(data, 5, TypeCheckpoint, nil)
+	data = AppendRecord(data, 9, TypeCheckpoint, nil) // gap
+	_, got, _, err := DecodeSegment(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d records across an LSN gap, want 1", len(got))
+	}
+}
+
+func TestLogAppendSyncRotate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, SegmentName)
+	l, err := Create(path, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn := l.Append(TypeBatch, AppendBatch(nil, 1)); lsn != 10 {
+		t.Fatalf("first LSN %d, want 10", lsn)
+	}
+	l.Append(TypeAdmission, AppendAdmission(nil, Admission{ID: 1, Capacity: 1}))
+	// Not yet synced: the file on disk holds only the header.
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != HeaderSize {
+		t.Fatalf("unsynced records reached disk: %d bytes", len(onDisk))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, _ = os.ReadFile(path)
+	if int64(len(onDisk)) != l.Size() {
+		t.Fatalf("disk size %d != log size %d", len(onDisk), l.Size())
+	}
+	start, recs, clean, err := DecodeSegment(onDisk)
+	if err != nil || start != 10 || len(recs) != 2 || clean != len(onDisk) {
+		t.Fatalf("synced segment: start=%d recs=%d clean=%d err=%v", start, len(recs), clean, err)
+	}
+
+	// Rotate: fresh segment, old records gone, LSNs continue.
+	if err := l.Rotate(l.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != HeaderSize {
+		t.Fatalf("rotated size %d, want %d", l.Size(), HeaderSize)
+	}
+	if lsn := l.Append(TypeCheckpoint, nil); lsn != 12 {
+		t.Fatalf("post-rotate LSN %d, want 12", lsn)
+	}
+	if err := l.Close(); err != nil { // Close syncs the buffered record
+		t.Fatal(err)
+	}
+	onDisk, _ = os.ReadFile(path)
+	start, recs, _, err = DecodeSegment(onDisk)
+	if err != nil || start != 12 || len(recs) != 1 {
+		t.Fatalf("rotated segment: start=%d recs=%d err=%v", start, len(recs), err)
+	}
+	records, bytesN, syncs := l.Stats()
+	if records != 3 || syncs != 2 || bytesN == 0 {
+		t.Fatalf("stats records=%d bytes=%d syncs=%d", records, bytesN, syncs)
+	}
+}
+
+func TestRotateRefusesUnsyncedBuffer(t *testing.T) {
+	l, err := Create(filepath.Join(t.TempDir(), SegmentName), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.Append(TypeCheckpoint, nil)
+	if err := l.Rotate(1); err == nil {
+		t.Fatal("Rotate succeeded with unsynced records")
+	}
+}
+
+func TestAbortDropsBufferedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), SegmentName)
+	l, err := Create(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(TypeCheckpoint, nil)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Append(TypeCheckpoint, nil) // never synced
+	l.Abort()
+	data, _ := os.ReadFile(path)
+	_, recs, _, err := DecodeSegment(data)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("aborted segment holds %d records (err=%v), want the 1 synced", len(recs), err)
+	}
+}
+
+func TestBodyCodecs(t *testing.T) {
+	a := Admission{ID: 3, Origin: 11, Dest: 12, Release: 5.25, Deadline: 600, Penalty: 80, Capacity: 4}
+	ra, err := DecodeAdmission(AppendAdmission(nil, a))
+	if err != nil || ra != a {
+		t.Fatalf("admission round trip: %+v err=%v", ra, err)
+	}
+	if _, err := DecodeAdmission([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short admission accepted")
+	}
+
+	d := Decision{ID: 3, Accepted: false, Worker: -1, Delta: 0, SimTime: 5.25}
+	rd, err := DecodeDecision(AppendDecision(nil, d))
+	if err != nil || rd != d {
+		t.Fatalf("decision round trip: %+v err=%v", rd, err)
+	}
+	if _, err := DecodeDecision(append(AppendDecision(nil, d)[:4], 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)); err == nil {
+		t.Fatal("decision with accepted byte 2 accepted")
+	}
+
+	tr := Traffic{At: 300, Epoch: 2, Updates: []roadnet.TrafficUpdate{{Factor: 2, BBox: []float64{0, 0, 1, 1}}}}
+	body, err := AppendTraffic(nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := DecodeTraffic(body)
+	if err != nil || rt.At != tr.At || rt.Epoch != tr.Epoch || len(rt.Updates) != 1 || rt.Updates[0].Factor != 2 {
+		t.Fatalf("traffic round trip: %+v err=%v", rt, err)
+	}
+	if _, err := DecodeTraffic(body[:8]); err == nil {
+		t.Fatal("short traffic accepted")
+	}
+	nanAt := append([]byte(nil), body...)
+	for i := 0; i < 8; i++ {
+		nanAt[i] = 0xff
+	}
+	if _, err := DecodeTraffic(nanAt); err == nil {
+		t.Fatal("NaN traffic time accepted")
+	}
+	empty, _ := AppendTraffic(nil, Traffic{At: 1, Epoch: 1})
+	if _, err := DecodeTraffic(empty); err == nil {
+		t.Fatal("empty traffic batch accepted")
+	}
+
+	if c, err := DecodeBatch(AppendBatch(nil, 17)); err != nil || c != 17 {
+		t.Fatalf("batch round trip: %d err=%v", c, err)
+	}
+	if _, err := DecodeBatch(AppendBatch(nil, 0)); err == nil {
+		t.Fatal("zero batch count accepted")
+	}
+}
+
+func TestFloatBitExactness(t *testing.T) {
+	// Delta equality across recovery is bit-level; the codec must not
+	// disturb a single mantissa bit.
+	v := math.Nextafter(182.5, 200)
+	d := Decision{ID: 1, Accepted: true, Worker: 2, Delta: v, SimTime: v}
+	rd, err := DecodeDecision(AppendDecision(nil, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(rd.Delta) != math.Float64bits(v) || math.Float64bits(rd.SimTime) != math.Float64bits(v) {
+		t.Fatal("float bits disturbed by codec")
+	}
+}

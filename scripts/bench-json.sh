@@ -2,7 +2,7 @@
 # bench-json.sh — run the headline benchmarks and append one labeled run
 # to a JSON benchmark-trajectory artifact (see cmd/benchjson).
 #
-#   scripts/bench-json.sh                         # 100x run -> BENCH_PR6.json, label = short commit
+#   scripts/bench-json.sh                         # 100x run -> BENCH_PR7.json, label = short commit
 #   scripts/bench-json.sh -t 1x -o /tmp/b.json    # CI smoke: one iteration per benchmark
 #   scripts/bench-json.sh -l post-PR4             # explicit label
 #   scripts/bench-json.sh -b 'BenchmarkPruningAblation'  # subset
@@ -10,17 +10,18 @@
 # The headline set covers the perf surfaces this repo tracks: the Lemma 8
 # pruning ablation (dist-queries), parallel planning throughput
 # (speedup-vs-serial), the §4 insertion-operator scaling, the oracle
-# ablation, the decision-phase lower bound, and the epoch-aware oracle
+# ablation, the decision-phase lower bound, the epoch-aware oracle
 # front under traffic (query latency per tier plus the epoch-advance cost
-# of a full CH rebuild versus a CCH customization).
+# of a full CH rebuild versus a CCH customization), and the WAL group
+# commit (fsync amortization across admission-batch sizes).
 # -benchmem is always on so allocs/op regressions are recorded in the
 # artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound|BenchmarkDistUnderRebuild'
+BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound|BenchmarkDistUnderRebuild|BenchmarkWALCommit'
 BENCHTIME=100x
-OUT=BENCH_PR6.json
+OUT=BENCH_PR7.json
 LABEL=""
 
 while getopts "b:t:o:l:h" opt; do
