@@ -20,6 +20,7 @@ import (
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -383,6 +384,37 @@ func BenchmarkParallelPlanning(b *testing.B) {
 				serialNsPerOp = nsPerOp
 			} else if serialNsPerOp > 0 && nsPerOp > 0 {
 				b.ReportMetric(serialNsPerOp/nsPerOp, "speedup-vs-serial")
+			}
+		})
+	}
+}
+
+// BenchmarkPlanWithObserver measures the flight recorder's overhead on
+// the steady-state plan path: the same frozen fleet state planned with
+// no observer versus with a trace.Recorder (plan-latency histogram
+// attached) receiving every plan. The delta is the observability tax —
+// per the Polynesia lesson it must stay within noise, and the observed
+// path stays 0 allocs/op (TestGreedyPlanZeroAllocs and
+// TestRecorderPlanZeroAllocs pin that; ReportAllocs shows it here).
+func BenchmarkPlanWithObserver(b *testing.B) {
+	st := parallelBench(b)
+	for _, traced := range []bool{false, true} {
+		name := "observer=off"
+		if traced {
+			name = "observer=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			planner := core.NewPruneGreedyDP(st.fleet, 1)
+			if traced {
+				rec := trace.New(4096)
+				rec.PlanSeconds = trace.NewHistogram(trace.LatencyBuckets())
+				planner.SetObserver(rec)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := st.probe[i%len(st.probe)]
+				planner.Plan(r.Release, r)
 			}
 		})
 	}

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/expt"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -42,13 +43,14 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 		parallel = flag.Int("parallel", 0, "plan pruneGreedyDP/GreedyDP with a parallel dispatcher pool of this size (0 = serial); also the largest pool of -exp parallel")
 		oracle   = cliutil.OracleFlag("hub")
+		traceOut = cliutil.TraceFlag()
 	)
 	flag.Parse()
 	if err := cliutil.CheckOracle(*oracle); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-bench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *dataset, *scale, *repeat, splitList(*algos), *csvDir, *parallel, *oracle); err != nil {
+	if err := run(*exp, *dataset, *scale, *repeat, splitList(*algos), *csvDir, *parallel, *oracle, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-bench:", err)
 		os.Exit(1)
 	}
@@ -64,7 +66,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir string, parallel int, oracle string) error {
+func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir string, parallel int, oracle, traceFile string) error {
 	var presets []workload.Params
 	switch strings.ToLower(dataset) {
 	case "chengdu":
@@ -78,6 +80,17 @@ func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir 
 	}
 
 	wantFig := func(name string) bool { return exp == name || exp == "all" }
+
+	// One flight recorder shared by every runner: the file retains the
+	// most recent plan events across all experiments and datasets.
+	var rec *trace.Recorder
+	if traceFile != "" {
+		maxReq := 0
+		for _, p := range presets {
+			maxReq = max(maxReq, p.NumRequests)
+		}
+		rec = cliutil.NewRecorder(maxReq)
+	}
 
 	// Dataset-independent experiments first.
 	if wantFig("insertion") {
@@ -110,6 +123,9 @@ func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir 
 		}
 		runner.Parallel = parallel
 		runner.OracleKind = oracle
+		if rec != nil {
+			runner.Observer = rec
+		}
 		desc, err := runner.OracleDescription()
 		if err != nil {
 			return err
@@ -168,6 +184,9 @@ func run(exp, dataset string, scale float64, repeat int, algos []string, csvDir 
 	if len(table4) > 0 {
 		fmt.Println("== Table 4: dataset statistics ==")
 		fmt.Println(expt.FormatTable4(table4))
+	}
+	if rec != nil {
+		return cliutil.WriteTrace(traceFile, rec)
 	}
 	return nil
 }

@@ -58,10 +58,11 @@ func main() {
 		alpha    = flag.Float64("alpha", 1, "unified-cost weight α of the offline reference (must match the server)")
 		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+		explain  = flag.Int64("explain", -1, "after the replay, fetch GET /v1/decisions/{id}/explain for this request id and print it (requires server tracing; -1 = off)")
 	)
 	flag.Parse()
 	if err := run(*netFile, *loadFile, *traffic, *addr, *oracle, *speedup, *n, *parallel,
-		*alpha, *wait, *timeout, *lockstep); err != nil {
+		*alpha, *wait, *timeout, *lockstep, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-replay:", err)
 		os.Exit(1)
 	}
@@ -75,7 +76,7 @@ type outcome struct {
 }
 
 func run(netFile, loadFile, trafficFile, addr, oracleKind string, speedup float64, n, parallel int,
-	alpha float64, wait, timeout time.Duration, lockstep bool) error {
+	alpha float64, wait, timeout time.Duration, lockstep bool, explainID int64) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load are required")
 	}
@@ -187,6 +188,11 @@ func run(netFile, loadFile, trafficFile, addr, oracleKind string, speedup float6
 	if failed > 0 {
 		return fmt.Errorf("%d requests failed", failed)
 	}
+	if explainID >= 0 {
+		if err := fetchExplain(client, base, explainID); err != nil {
+			return err
+		}
+	}
 
 	if !lockstep {
 		return nil
@@ -235,6 +241,31 @@ func mode(lockstep bool, speedup float64) string {
 		return fmt.Sprintf("paced, speedup %gx", speedup)
 	}
 	return "paced, full speed"
+}
+
+// fetchExplain prints the server's decision introspection for one
+// request (GET /v1/decisions/{id}/explain, FORMATS.md §9) — candidate
+// counts, Lemma 8 prunes, the chosen insertion and the Eq. 2 marginal
+// economics, or the rejection reason.
+func fetchExplain(client *http.Client, base string, id int64) error {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/decisions/%d/explain", base, id))
+	if err != nil {
+		return fmt.Errorf("explain %d: %w", id, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("explain %d: %w", id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("explain %d: status %d: %s", id, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, body, "", "  "); err != nil {
+		return fmt.Errorf("explain %d: %w", id, err)
+	}
+	fmt.Printf("explain %d:\n%s\n", id, buf.String())
+	return nil
 }
 
 // waitReady polls /v1/stats until the server answers.

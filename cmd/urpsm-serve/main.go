@@ -29,6 +29,12 @@
 // With -pprof ADDR the daemon additionally serves net/http/pprof on a
 // separate listener (off by default; keep it loopback-only in
 // production). See DESIGN.md §10.4 for the profiling walkthrough.
+//
+// Observability: the daemon keeps a flight recorder of the last
+// -trace-events request-lifecycle events (GET /debug/trace, and
+// GET /v1/decisions/{id}/explain for per-decision planner introspection);
+// -log-level selects the verbosity of the structured stderr log. See
+// DESIGN.md §14 and FORMATS.md §9.
 package main
 
 import (
@@ -50,6 +56,10 @@ import (
 	"repro/internal/workload"
 )
 
+// version is stamped into the urpsm_build_info metric; override at build
+// time with -ldflags "-X main.version=v1.2.3".
+var version = "dev"
+
 func main() {
 	var (
 		netFile     = flag.String("net", "", "road-network file (urpsm-roadnet format, required)")
@@ -66,10 +76,13 @@ func main() {
 		walCkpt     = flag.Int64("wal-checkpoint-bytes", serve.DefaultCheckpointBytes, "auto-checkpoint once the log exceeds this size (negative = explicit POST /v1/checkpoint only)")
 		asyncRb     = flag.Bool("async-rebuild", false, "rebuild the oracle in the background after POST /v1/traffic (live-tier queries meanwhile; mid-rebuild decisions lose bit-comparability; with -oracle cch the window is a millisecond customization, see DESIGN.md §11.4/§12)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		traceEv     = flag.Int("trace-events", serve.DefaultTraceEvents, "flight-recorder ring capacity in events for /debug/trace and explain (0 = tracing disabled)")
+		logLevel    = cliutil.LogLevelFlag("info")
 	)
 	flag.Parse()
 	if err := run(*netFile, *loadFile, *oracle, *addr, *batchWindow, *batchSize,
-		*parallel, *gridKm, *alpha, *snapshot, *walDir, *walCkpt, *pprofAddr, *asyncRb); err != nil {
+		*parallel, *gridKm, *alpha, *snapshot, *walDir, *walCkpt, *pprofAddr,
+		*asyncRb, *traceEv, *logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-serve:", err)
 		os.Exit(1)
 	}
@@ -77,9 +90,14 @@ func main() {
 
 func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 	batchSize, parallel int, gridKm, alpha float64, snapshotFile, walDir string,
-	walCkptBytes int64, pprofAddr string, asyncRebuild bool) error {
+	walCkptBytes int64, pprofAddr string, asyncRebuild bool, traceEvents int,
+	logLevel string) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load are required")
+	}
+	logger, err := cliutil.NewLogger(logLevel)
+	if err != nil {
+		return err
 	}
 	if walDir != "" && snapshotFile != "" {
 		return fmt.Errorf("-wal and -snapshot are mutually exclusive (the WAL checkpoint is the snapshot)")
@@ -122,6 +140,9 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		Pool:         parallel,
 		AsyncRebuild: asyncRebuild,
 		WALDir:       walDir,
+		TraceEvents:  traceEvents,
+		Logger:       logger,
+		Version:      version,
 	}
 	if walDir != "" {
 		cfg.CheckpointBytes = walCkptBytes
@@ -134,8 +155,9 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 				return fmt.Errorf("restore %s: %w", snapshotFile, rerr)
 			}
 			cfg.Snapshot = sn
-			fmt.Printf("restored snapshot %s: sim_time=%.1fs decided=%d workers=%d\n",
-				snapshotFile, sn.SimTime, sn.Accepted+sn.Rejected, len(sn.Workers))
+			logger.Info("restored snapshot", "file", snapshotFile,
+				"sim_time", sn.SimTime, "decided", sn.Accepted+sn.Rejected,
+				"workers", len(sn.Workers))
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
@@ -182,7 +204,7 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		pprofSrv = &http.Server{Addr: pprofAddr, Handler: mux}
-		fmt.Printf("pprof on http://%s/debug/pprof/\n", pprofAddr)
+		logger.Info("pprof listening", "url", "http://"+pprofAddr+"/debug/pprof/")
 		go func() {
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				errC <- fmt.Errorf("pprof: %w", err)
@@ -196,7 +218,7 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 	case err := <-errC:
 		return err
 	case sig := <-sigC:
-		fmt.Printf("received %s: draining\n", sig)
+		logger.Info("draining", "signal", sig.String())
 	}
 
 	// Drain first (new submissions get 503, admitted ones are decided),
@@ -218,11 +240,11 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		if err := serve.SaveSnapshotFile(snapshotFile, srv.TakeSnapshot()); err != nil {
 			return err
 		}
-		fmt.Printf("wrote snapshot %s\n", snapshotFile)
+		logger.Info("wrote snapshot", "file", snapshotFile)
 	}
 	if walDir != "" {
 		// Server.Shutdown took the final checkpoint and truncated the log.
-		fmt.Printf("wal %s: final checkpoint written\n", walDir)
+		logger.Info("wal final checkpoint written", "dir", walDir)
 	}
 	st := srv.Stats()
 	fmt.Printf("served %d requests (%d accepted, %d rejected) over %d batches; unified cost %.0f\n",

@@ -16,7 +16,9 @@
 // DESIGN.md §8.3). -traffic replays a scheduled congestion trace
 // (FORMATS.md §6) against the event clock: edge weights change
 // mid-simulation, the oracle re-tiers per epoch and routes are repaired
-// (DESIGN.md §11).
+// (DESIGN.md §11). -trace FILE attaches the planner flight recorder and
+// writes the retained per-request plan events as JSON after the run
+// (FORMATS.md §9); decisions are bit-identical with or without it.
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		loadFile = flag.String("load", "", "workload stream for -net (urpsm-workload format)")
 		traffic  = flag.String("traffic", "", "replay this congestion trace (urpsm-traffic format) against the event clock")
 		oracle   = cliutil.OracleFlag("") // default: hub for presets, auto for -net
+		traceOut = cliutil.TraceFlag()
 	)
 	flag.Parse()
 	err := cliutil.CheckOracle(*oracle)
@@ -68,11 +71,11 @@ func main() {
 			}
 		})
 		if err == nil {
-			err = runFiles(*netFile, *loadFile, *traffic, *algo, *oracle, *gridKm)
+			err = runFiles(*netFile, *loadFile, *traffic, *algo, *oracle, *traceOut, *gridKm)
 		}
 	default:
-		err = run(*dataset, *algo, *oracle, *traffic, *scale, *workers, *requests, *deadline,
-			*penalty, *capacity, *gridKm, *seed, *repeat)
+		err = run(*dataset, *algo, *oracle, *traffic, *traceOut, *scale, *workers, *requests,
+			*deadline, *penalty, *capacity, *gridKm, *seed, *repeat)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-sim:", err)
@@ -107,8 +110,21 @@ func loadTraffic(runner *expt.Runner, trafficFile string) error {
 	return nil
 }
 
+// attachTrace wires a flight recorder onto the runner when -trace is
+// set; the returned flush writes the ring after the run(s). With -algo
+// all or -repeat > 1 every run shares the ring, so the file retains the
+// most recent events across them.
+func attachTrace(runner *expt.Runner, file string, requests int) func() error {
+	if file == "" {
+		return func() error { return nil }
+	}
+	rec := cliutil.NewRecorder(requests)
+	runner.Observer = rec
+	return func() error { return cliutil.WriteTrace(file, rec) }
+}
+
 // runFiles simulates an imported network + workload pair.
-func runFiles(netFile, loadFile, trafficFile, algo, oracle string, gridKm float64) error {
+func runFiles(netFile, loadFile, trafficFile, algo, oracle, traceFile string, gridKm float64) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load must be given together")
 	}
@@ -144,6 +160,7 @@ func runFiles(netFile, loadFile, trafficFile, algo, oracle string, gridKm float6
 	if err := loadTraffic(runner, trafficFile); err != nil {
 		return err
 	}
+	flushTrace := attachTrace(runner, traceFile, len(inst.Requests))
 	fmt.Printf("net=%s |V|=%d |E|=%d requests=%d workers=%d oracle=%s\n",
 		netFile, g.NumVertices(), g.NumEdges(), len(inst.Requests), len(inst.Workers), desc)
 	for _, a := range algoList(algo) {
@@ -153,10 +170,10 @@ func runFiles(netFile, loadFile, trafficFile, algo, oracle string, gridKm float6
 		}
 		fmt.Println(m.String())
 	}
-	return nil
+	return flushTrace()
 }
 
-func run(dataset, algo, oracle, trafficFile string, scale float64, workers, requests int,
+func run(dataset, algo, oracle, trafficFile, traceFile string, scale float64, workers, requests int,
 	deadlineMin, penalty, capacity, gridKm float64, seed int64, repeat int) error {
 	var p workload.Params
 	switch strings.ToLower(dataset) {
@@ -201,6 +218,7 @@ func run(dataset, algo, oracle, trafficFile string, scale float64, workers, requ
 	if err := loadTraffic(runner, trafficFile); err != nil {
 		return err
 	}
+	flushTrace := attachTrace(runner, traceFile, p.NumRequests)
 	fmt.Printf("dataset=%s |V|=%d |E|=%d requests=%d workers=%d deadline=%.0fs penalty=%.0fx oracle=%s\n",
 		p.Name, runner.G.NumVertices(), runner.G.NumEdges(),
 		p.NumRequests, p.NumWorkers, p.DeadlineSec, p.PenaltyFactor, desc)
@@ -212,5 +230,5 @@ func run(dataset, algo, oracle, trafficFile string, scale float64, workers, requ
 		}
 		fmt.Println(m.String())
 	}
-	return nil
+	return flushTrace()
 }

@@ -1,17 +1,20 @@
 // Package cliutil holds the small flag-parsing helpers shared by the
-// commands. Today that is the -oracle flag: urpsm-sim, urpsm-bench,
-// urpsm-serve and urpsm-replay all select a distance oracle the same way,
-// and each used to carry its own copy of the registration, usage text and
-// validation.
+// commands: the -oracle flag (urpsm-sim, urpsm-bench, urpsm-serve and
+// urpsm-replay all select a distance oracle the same way) and the
+// -log-level flag with its slog construction.
 package cliutil
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"os"
 	"strings"
 
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
+	"repro/internal/trace"
 )
 
 // OracleKinds are the accepted -oracle values. "auto" resolves to one of
@@ -67,4 +70,72 @@ func BuildOracle(kind string, g *roadnet.Graph) (shortest.Oracle, string, error)
 		return shortest.NewBiDijkstra(g), resolved, nil
 	}
 	return nil, "", fmt.Errorf("unknown oracle %q (valid: %s)", kind, strings.Join(OracleKinds, "|"))
+}
+
+// LogLevels are the accepted -log-level values.
+var LogLevels = []string{"debug", "info", "warn", "error"}
+
+// LogLevelFlag registers the standard -log-level flag.
+func LogLevelFlag(def string) *string {
+	return flag.String("log-level", def, "log verbosity: debug|info|warn|error")
+}
+
+// NewLogger builds a structured stderr logger at the named level.
+// Timestamps stay on (slog's default) — operators correlate these lines
+// with trace wall_ns; the crash harness and smoke scripts match on
+// message substrings, which text output preserves.
+func NewLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (valid: %s)", level, strings.Join(LogLevels, "|"))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// TraceFlag registers the standard -trace flag (urpsm-sim, urpsm-bench):
+// attach a flight recorder to the run and write its ring to FILE.
+func TraceFlag() *string {
+	return flag.String("trace", "",
+		"write the planner flight-recorder event ring (JSON, FORMATS.md §9) to this file after the run")
+}
+
+// NewRecorder sizes a flight recorder for an offline run over n requests:
+// two events per planned request (plan_start + plan) plus slack for
+// traffic epochs and oracle rebuilds.
+func NewRecorder(n int) *trace.Recorder {
+	return trace.New(2*n + 64)
+}
+
+// WriteTrace dumps rec's retained events (oldest → newest) to path as an
+// indented JSON object with the same {capacity, events} shape as the
+// server's GET /debug/trace.
+func WriteTrace(path string, rec *trace.Recorder) error {
+	evs := rec.Events(make([]trace.Event, 0, rec.Len()))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(struct {
+		Capacity int           `json:"capacity"`
+		Events   []trace.Event `json:"events"`
+	}{rec.Capacity(), evs})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	fmt.Printf("trace: wrote %d event(s) to %s\n", len(evs), path)
+	return nil
 }

@@ -92,8 +92,12 @@ func BetterCandidate(w1 *Worker, ins1 Insertion, w2 *Worker, ins2 Insertion) boo
 // sc is the scan's insertion arena; it must be exclusive to this call
 // (Scratch asserts that), because the operator's auxiliary arrays live in
 // it for the duration of each candidate evaluation.
+//
+// st, when non-nil, accumulates the scan's work counters (exact
+// evaluations, feasible insertions, DP cells) for the observer hook; it
+// never influences the scan itself.
 func EvalCandidatesSerial(sc *Scratch, insert InsertionFunc, prune bool, lbs []WorkerBound,
-	req *Request, L float64, dist DistFunc) (*Worker, Insertion) {
+	req *Request, L float64, dist DistFunc, st *PlanStats) (*Worker, Insertion) {
 	var bestW *Worker
 	bestIns := Infeasible
 	for _, wb := range lbs {
@@ -105,6 +109,9 @@ func EvalCandidatesSerial(sc *Scratch, insert InsertionFunc, prune bool, lbs []W
 		}
 		w := wb.Worker
 		ins := insert(sc, &w.Route, w.Capacity, req, L, dist)
+		if st != nil {
+			st.observe(&w.Route, ins)
+		}
 		if !ins.OK {
 			continue
 		}
@@ -136,8 +143,12 @@ func EvalCandidatesSerial(sc *Scratch, insert InsertionFunc, prune bool, lbs []W
 // operator's auxiliary arrays live in it while a candidate is evaluated,
 // and sharing would corrupt them mid-computation (Scratch panics on such
 // use; internal/dispatch's race suite exercises the contract).
+//
+// st, when non-nil, accumulates this scan's work counters; like sc it
+// must be exclusive to the scan (the dispatcher sums per-goroutine stats
+// after the merge). It never influences the scan itself.
 func EvalCandidates(sc *Scratch, insert InsertionFunc, prune bool, lbs []WorkerBound,
-	req *Request, L float64, dist DistFunc, bound *AtomicBound, next func() int) (*Worker, Insertion) {
+	req *Request, L float64, dist DistFunc, bound *AtomicBound, next func() int, st *PlanStats) (*Worker, Insertion) {
 	var bestW *Worker
 	bestIns := Infeasible
 	for {
@@ -152,6 +163,9 @@ func EvalCandidates(sc *Scratch, insert InsertionFunc, prune bool, lbs []WorkerB
 		}
 		w := wb.Worker
 		ins := insert(sc, &w.Route, w.Capacity, req, L, dist)
+		if st != nil {
+			st.observe(&w.Route, ins)
+		}
 		if !ins.OK {
 			continue
 		}

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"math"
+	"time"
+)
+
 // Result records the outcome of handling one request.
 type Result struct {
 	Served bool
@@ -78,6 +83,11 @@ type Greedy struct {
 	cfg   Config
 	name  string
 	sc    Scratch
+	// obs and tr are the introspection hook: tr is the planner-owned
+	// arena record (reused across requests, so observation allocates
+	// nothing), populated and handed to obs only when obs is non-nil.
+	obs PlanObserver
+	tr  PlanTrace
 }
 
 // NewPruneGreedyDP returns the paper's pruneGreedyDP planner.
@@ -101,6 +111,10 @@ func NewGreedy(fleet *Fleet, cfg Config, name string) *Greedy {
 // Name implements Planner.
 func (p *Greedy) Name() string { return p.name }
 
+// SetObserver implements Observable: attach (or with nil, detach) a plan
+// observer. Like Plan itself, it must not race with a Plan call.
+func (p *Greedy) SetObserver(o PlanObserver) { p.obs = o }
+
 // OnRequest implements Algorithm 5 for a single request.
 func (p *Greedy) OnRequest(now float64, req *Request) Result {
 	bestW, bestIns, L := p.Plan(now, req)
@@ -118,19 +132,63 @@ func (p *Greedy) OnRequest(now float64, req *Request) Result {
 // Plan runs both phases of Algorithm 5 without mutating any route,
 // returning the chosen worker and insertion (nil when the request is
 // rejected). Exposed so ablations can compare planning decisions on
-// identical fleet state.
+// identical fleet state. With an observer attached it additionally emits
+// the PlanStart/PlanDone introspection callbacks — on the planner-owned
+// trace arena, so observation stays allocation-free, and strictly after
+// every decision-affecting operation, so it cannot change the outcome.
 func (p *Greedy) Plan(now float64, req *Request) (*Worker, Insertion, float64) {
+	if p.obs == nil {
+		return p.plan(now, req, nil)
+	}
+	p.obs.PlanStart(now, req)
+	start := time.Now()
+	tr := &p.tr
+	*tr = PlanTrace{Req: req, Now: now, Chosen: -1, MinLB: math.Inf(1)}
+	w, ins, L := p.plan(now, req, tr)
+	tr.L = L
+	if w != nil {
+		tr.Ins = ins
+		tr.Chosen = w.ID
+		tr.Reason = ReasonServed
+	}
+	tr.Pruned = tr.Feasible - int(tr.Stats.Evaluated)
+	tr.PlanNs = time.Since(start).Nanoseconds()
+	p.obs.PlanDone(tr)
+	return w, ins, L
+}
+
+// plan is Plan's uninstrumented body; tr is nil when no observer is
+// attached (the steady-state hot path) and collects phase facts otherwise.
+func (p *Greedy) plan(now float64, req *Request, tr *PlanTrace) (*Worker, Insertion, float64) {
 	f := p.fleet
 	L := f.Dist(req.Origin, req.Dest) // the decision phase's one query
 
 	cands := p.sc.Candidates(f, req, now, L)
+	if tr != nil {
+		tr.Candidates = len(cands)
+	}
 	if len(cands) == 0 {
+		if tr != nil {
+			tr.Reason = ReasonNoCandidates
+		}
 		return nil, Infeasible, L
 	}
 
 	// Phase 1: decision (Algorithm 4).
 	lbs, reject := p.sc.Decide(p.cfg.Alpha, cands, req, f.Graph, L)
+	if tr != nil {
+		tr.Feasible = len(lbs)
+		for _, wb := range lbs {
+			if wb.LB < tr.MinLB {
+				tr.MinLB = wb.LB
+			}
+		}
+	}
 	if reject {
+		if tr != nil {
+			tr.LBs = lbs
+			tr.Reason = ReasonDecisionBound
+		}
 		return nil, Infeasible, L
 	}
 
@@ -142,11 +200,23 @@ func (p *Greedy) Plan(now float64, req *Request) (*Worker, Insertion, float64) {
 	if p.cfg.Prune {
 		SortWorkerBounds(lbs)
 	}
-	bestW, bestIns := EvalCandidatesSerial(&p.sc, p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist)
+	var st *PlanStats
+	if tr != nil {
+		tr.LBs = lbs
+		st = &tr.Stats
+	}
+	bestW, bestIns := EvalCandidatesSerial(&p.sc, p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist, st)
 	if bestW == nil {
+		if tr != nil {
+			tr.Reason = ReasonNoFeasibleInsertion
+		}
 		return nil, Infeasible, L
 	}
 	if p.cfg.PostCheck && p.cfg.Alpha*bestIns.Delta > req.Penalty {
+		if tr != nil {
+			tr.Reason = ReasonPostCheck
+			tr.Ins = bestIns // the infeasible-by-economics plan, for the record
+		}
 		return nil, Infeasible, L
 	}
 	return bestW, bestIns, L

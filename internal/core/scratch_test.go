@@ -111,4 +111,48 @@ func TestGreedyPlanZeroAllocs(t *testing.T) {
 			t.Errorf("%s probe: Plan allocates %v per op, want 0", name, allocs)
 		}
 	}
+
+	// The acceptance criterion of the observer hook: an ATTACHED observer
+	// must not cost the plan path its zero-alloc property. The planner
+	// passes a pointer to its arena-resident PlanTrace, so the callback
+	// itself introduces no escapes; countingObserver checks the payload
+	// arrives while AllocsPerRun checks nothing leaked to the heap.
+	// (internal/trace runs the same assertion against the real Recorder;
+	// this in-package fake exists because trace imports core.)
+	obs := &countingObserver{}
+	p.SetObserver(obs)
+	defer p.SetObserver(nil)
+	for name, r := range map[string]*Request{"planned": planned, "rejected": rejected} {
+		r := r
+		if allocs := testing.AllocsPerRun(100, func() {
+			p.Plan(0, r)
+		}); allocs != 0 {
+			t.Errorf("%s probe: observed Plan allocates %v per op, want 0", name, allocs)
+		}
+	}
+	if obs.starts != obs.dones || obs.starts == 0 {
+		t.Fatalf("observer saw %d starts / %d dones", obs.starts, obs.dones)
+	}
+	if obs.served == 0 || obs.rejected == 0 {
+		t.Fatalf("observer saw served=%d rejected=%d, want both nonzero", obs.served, obs.rejected)
+	}
+}
+
+// countingObserver is a minimal allocation-free PlanObserver.
+type countingObserver struct {
+	starts, dones    int
+	served, rejected int
+	lastEvaluated    int32
+}
+
+func (o *countingObserver) PlanStart(now float64, req *Request) { o.starts++ }
+
+func (o *countingObserver) PlanDone(tr *PlanTrace) {
+	o.dones++
+	if tr.Chosen >= 0 {
+		o.served++
+	} else {
+		o.rejected++
+	}
+	o.lastEvaluated = tr.Stats.Evaluated
 }

@@ -38,6 +38,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -75,6 +76,11 @@ type ParallelGreedy struct {
 	cutoff int
 	name   string
 	arenas sync.Pool // of *planArena
+	// obs is the introspection hook; each Plan call populates the trace
+	// record of its own pooled arena, so concurrent observed Plans never
+	// share a PlanTrace (the observer itself must be concurrency-safe,
+	// which internal/trace.Recorder is).
+	obs core.PlanObserver
 }
 
 // planArena bundles every reusable buffer one Plan call needs: the
@@ -90,6 +96,11 @@ type planArena struct {
 	evals  []*core.Scratch
 	locals []localBest
 	bound  core.AtomicBound
+	// tr is this arena's introspection record and stats its per-goroutine
+	// work counters (one slot per scan, summed after the merge) — both
+	// reused across requests so an attached observer allocates nothing.
+	tr    core.PlanTrace
+	stats []core.PlanStats
 }
 
 // localBest is one goroutine's scan result before the deterministic merge.
@@ -162,6 +173,10 @@ func NewParallelGreedyDP(fleet *core.Fleet, alpha float64, pool int) *ParallelGr
 // Name implements core.Planner.
 func (p *ParallelGreedy) Name() string { return p.name }
 
+// SetObserver implements core.Observable: attach (or with nil, detach) a
+// plan observer. It must not race with in-flight Plan calls.
+func (p *ParallelGreedy) SetObserver(o core.PlanObserver) { p.obs = o }
+
 // Pool returns the configured number of planning goroutines.
 func (p *ParallelGreedy) Pool() int { return p.pool }
 
@@ -183,15 +198,55 @@ func (p *ParallelGreedy) OnRequest(now float64, req *core.Request) core.Result {
 
 // Plan runs both phases of Algorithm 5 without mutating any route. Its
 // return value is bit-identical to core.Greedy.Plan on the same fleet
-// state, for any pool size.
+// state, for any pool size. With an observer attached it emits the
+// PlanStart/PlanDone callbacks on the pooled arena's trace record; the
+// decision stays bit-identical, but the work counters (Evaluated,
+// DPCells) may vary run to run with goroutine timing — Lemma 8 prunes
+// whatever the cooperative bound has not yet excluded.
 func (p *ParallelGreedy) Plan(now float64, req *core.Request) (*core.Worker, core.Insertion, float64) {
-	f := p.fleet
+	if p.obs == nil {
+		return p.plan(now, req, nil)
+	}
 	a := p.arenas.Get().(*planArena)
 	defer p.arenas.Put(a)
+	p.obs.PlanStart(now, req)
+	start := time.Now()
+	tr := &a.tr
+	*tr = core.PlanTrace{Req: req, Now: now, Chosen: -1, MinLB: math.Inf(1)}
+	w, ins, L := p.planOn(a, now, req, tr)
+	tr.L = L
+	if w != nil {
+		tr.Ins = ins
+		tr.Chosen = w.ID
+		tr.Reason = core.ReasonServed
+	}
+	tr.Pruned = tr.Feasible - int(tr.Stats.Evaluated)
+	tr.PlanNs = time.Since(start).Nanoseconds()
+	p.obs.PlanDone(tr)
+	return w, ins, L
+}
+
+// plan draws an arena and runs the uninstrumented path.
+func (p *ParallelGreedy) plan(now float64, req *core.Request, tr *core.PlanTrace) (*core.Worker, core.Insertion, float64) {
+	a := p.arenas.Get().(*planArena)
+	defer p.arenas.Put(a)
+	return p.planOn(a, now, req, tr)
+}
+
+// planOn is the Plan body on a caller-held arena; tr is nil on the
+// uninstrumented hot path and collects phase facts otherwise.
+func (p *ParallelGreedy) planOn(a *planArena, now float64, req *core.Request, tr *core.PlanTrace) (*core.Worker, core.Insertion, float64) {
+	f := p.fleet
 	L := f.Dist(req.Origin, req.Dest) // the decision phase's one query
 
 	cands := a.sc.Candidates(f, req, now, L)
+	if tr != nil {
+		tr.Candidates = len(cands)
+	}
 	if len(cands) == 0 {
+		if tr != nil {
+			tr.Reason = core.ReasonNoCandidates
+		}
 		return nil, core.Infeasible, L
 	}
 	parallel := p.pool > 1 && len(cands) >= p.cutoff
@@ -206,7 +261,20 @@ func (p *ParallelGreedy) Plan(now float64, req *core.Request) (*core.Worker, cor
 	} else {
 		lbs, reject = a.sc.Decide(p.cfg.Alpha, cands, req, f.Graph, L)
 	}
+	if tr != nil {
+		tr.Parallel = parallel
+		tr.Feasible = len(lbs)
+		for _, wb := range lbs {
+			if wb.LB < tr.MinLB {
+				tr.MinLB = wb.LB
+			}
+		}
+	}
 	if reject {
+		if tr != nil {
+			tr.LBs = lbs
+			tr.Reason = core.ReasonDecisionBound
+		}
 		return nil, core.Infeasible, L
 	}
 
@@ -214,19 +282,31 @@ func (p *ParallelGreedy) Plan(now float64, req *core.Request) (*core.Worker, cor
 	if p.cfg.Prune {
 		core.SortWorkerBounds(lbs)
 	}
+	var st *core.PlanStats
+	if tr != nil {
+		tr.LBs = lbs
+		st = &tr.Stats
+	}
 	var (
 		bestW   *core.Worker
 		bestIns core.Insertion
 	)
 	if parallel && len(lbs) > 1 {
-		bestW, bestIns = p.parallelEval(a, lbs, req, L)
+		bestW, bestIns = p.parallelEval(a, lbs, req, L, st)
 	} else {
-		bestW, bestIns = core.EvalCandidatesSerial(&a.sc, p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist)
+		bestW, bestIns = core.EvalCandidatesSerial(&a.sc, p.cfg.Insertion, p.cfg.Prune, lbs, req, L, f.Dist, st)
 	}
 	if bestW == nil {
+		if tr != nil {
+			tr.Reason = core.ReasonNoFeasibleInsertion
+		}
 		return nil, core.Infeasible, L
 	}
 	if p.cfg.PostCheck && p.cfg.Alpha*bestIns.Delta > req.Penalty {
+		if tr != nil {
+			tr.Reason = core.ReasonPostCheck
+			tr.Ins = bestIns // the infeasible-by-economics plan, for the record
+		}
 		return nil, core.Infeasible, L
 	}
 	return bestW, bestIns, L
@@ -282,12 +362,18 @@ func (p *ParallelGreedy) parallelDecide(a *planArena, cands []*core.Worker, req 
 // the per-goroutine local bests deterministically. The scans share lbs,
 // the bound and the cursor — but each one runs on its own arena scratch
 // (sharing one would corrupt the insertion contexts; core.Scratch panics
-// on the attempt).
-func (p *ParallelGreedy) parallelEval(a *planArena, lbs []core.WorkerBound, req *core.Request, L float64) (*core.Worker, core.Insertion) {
+// on the attempt). st, when non-nil, receives the summed per-goroutine
+// work counters after the merge.
+func (p *ParallelGreedy) parallelEval(a *planArena, lbs []core.WorkerBound, req *core.Request, L float64, st *core.PlanStats) (*core.Worker, core.Insertion) {
 	nw := p.workersFor(len(lbs))
 	a.locals = grown(a.locals, nw)
 	locals := a.locals
 	scratches := a.evalScratches(nw)
+	var stats []core.PlanStats
+	if st != nil {
+		a.stats = grown(a.stats, nw)
+		stats = a.stats
+	}
 	bound := &a.bound
 	bound.Reset()
 	var cursor atomic.Int64
@@ -297,7 +383,12 @@ func (p *ParallelGreedy) parallelEval(a *planArena, lbs []core.WorkerBound, req 
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			w, ins := core.EvalCandidates(scratches[slot], p.cfg.Insertion, p.cfg.Prune, lbs, req, L, p.fleet.Dist, bound, next)
+			var gst *core.PlanStats
+			if stats != nil {
+				stats[slot] = core.PlanStats{}
+				gst = &stats[slot]
+			}
+			w, ins := core.EvalCandidates(scratches[slot], p.cfg.Insertion, p.cfg.Prune, lbs, req, L, p.fleet.Dist, bound, next, gst)
 			locals[slot] = localBest{w: w, ins: ins}
 		}(g)
 	}
@@ -309,6 +400,11 @@ func (p *ParallelGreedy) parallelEval(a *planArena, lbs []core.WorkerBound, req 
 		if core.BetterCandidate(bestW, bestIns, lb.w, lb.ins) {
 			bestW = lb.w
 			bestIns = lb.ins
+		}
+	}
+	if st != nil {
+		for i := range stats {
+			st.Add(stats[i])
 		}
 	}
 	return bestW, bestIns

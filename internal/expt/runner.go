@@ -80,6 +80,11 @@ type Runner struct {
 	// caused it. With an empty profile every run is bit-identical to
 	// Traffic == nil.
 	Traffic *roadnet.TrafficProfile
+	// Observer, when non-nil, is attached to every run's planner for the
+	// run's duration when the planner implements core.Observable (the
+	// greedy planners; baselines ignore it) — urpsm-sim's -trace flag
+	// passes a trace.Recorder here. Read-only: decisions are unchanged.
+	Observer core.PlanObserver
 
 	hub *shortest.HubLabels // built lazily for OracleKind "hub" (or auto→hub)
 	cch *shortest.CCH       // built lazily for OracleKind "cch" (or auto→cch)
@@ -342,6 +347,7 @@ func (r *Runner) runWith(inst *workload.Instance, algo string, dist core.DistFun
 	}
 	eng := sim.NewEngine(fleet, planner, shortest.NewBiDijkstra(r.G), 1)
 	eng.Queries = queries
+	eng.Observer = r.Observer
 	trafficRun := false
 	if tw != nil {
 		tc := sim.NewTraffic(tw.overlay, tw.versioned, fleet, eng.World())

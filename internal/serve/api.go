@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 
 	"repro/internal/core"
@@ -108,6 +109,9 @@ type Stats struct {
 	WALTornBytes   int       `json:"wal_torn_bytes"`
 	WALSizeBytes   int64     `json:"wal_size_bytes"`
 	LatencyMs      LatencyMs `json:"latency_ms"`
+	// TraceEvents is how many flight-recorder events are currently
+	// retained (0 when tracing is disabled).
+	TraceEvents int `json:"trace_events"`
 }
 
 // TrafficRequest is the body of POST /v1/traffic.
@@ -201,10 +205,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/traffic", s.handleTraffic)
 	mux.HandleFunc("GET /v1/workers/{id}/route", s.handleWorkerRoute)
 	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
+	mux.HandleFunc("GET /v1/decisions/{id}/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/runtime", s.handleRuntime)
 	return mux
 }
 
@@ -358,6 +365,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP urpsm_total_distance_seconds Fleet travel time, completed plus planned.\n")
 	p("# TYPE urpsm_total_distance_seconds gauge\n")
 	p("urpsm_total_distance_seconds %g\n", st.TotalDistance)
+	p("# HELP urpsm_penalty_sum Accumulated rejection penalties.\n")
+	p("# TYPE urpsm_penalty_sum gauge\n")
+	p("urpsm_penalty_sum %g\n", st.PenaltySum)
 	p("# HELP urpsm_unified_cost Unified cost alpha*distance + penalties.\n")
 	p("# TYPE urpsm_unified_cost gauge\n")
 	p("urpsm_unified_cost %g\n", st.UnifiedCost)
@@ -424,4 +434,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("urpsm_request_latency_milliseconds{quantile=\"0.5\"} %g\n", st.LatencyMs.P50)
 	p("urpsm_request_latency_milliseconds{quantile=\"0.95\"} %g\n", st.LatencyMs.P95)
 	p("urpsm_request_latency_milliseconds{quantile=\"0.99\"} %g\n", st.LatencyMs.P99)
+	version := s.cfg.Version
+	if version == "" {
+		version = "dev"
+	}
+	p("# HELP urpsm_build_info Build and configuration identity; value is always 1.\n")
+	p("# TYPE urpsm_build_info gauge\n")
+	p("urpsm_build_info{version=%q,go=%q,oracle=%q,algorithm=%q} 1\n",
+		version, runtime.Version(), st.Oracle, st.Algorithm)
+	p("# HELP urpsm_graph_vertices Road-network vertex count.\n")
+	p("# TYPE urpsm_graph_vertices gauge\n")
+	p("urpsm_graph_vertices %d\n", s.cfg.Graph.NumVertices())
+	p("# HELP urpsm_graph_edges Road-network edge count.\n")
+	p("# TYPE urpsm_graph_edges gauge\n")
+	p("urpsm_graph_edges %d\n", s.cfg.Graph.NumEdges())
+	p("# HELP urpsm_trace_events Flight-recorder events retained (0 = tracing disabled).\n")
+	p("# TYPE urpsm_trace_events gauge\n")
+	p("urpsm_trace_events %d\n", st.TraceEvents)
+	s.histPlan.WriteProm(w, "urpsm_plan_seconds",
+		"Planner wall time per request (both phases); observed only while tracing is enabled.")
+	s.histFlush.WriteProm(w, "urpsm_batch_flush_seconds",
+		"Admission batch flush wall time (plan + WAL + ack for the whole batch).")
+	s.histWALSync.WriteProm(w, "urpsm_wal_sync_seconds",
+		"WAL group-commit fsync wall time.")
+	s.histAck.WriteProm(w, "urpsm_admit_to_ack_seconds",
+		"Admission-to-acknowledgment latency per request.")
 }

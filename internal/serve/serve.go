@@ -38,6 +38,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"sync"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/roadnet"
 	"repro/internal/shortest"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -113,7 +115,26 @@ type Config struct {
 	// lands and keeps replay equivalence bit-exact unconditionally. See
 	// DESIGN.md §11.4 and §12.
 	AsyncRebuild bool
+	// TraceEvents enables the flight recorder (internal/trace): the ring
+	// retains that many most-recent lifecycle events, the planner gets a
+	// PlanObserver, and GET /debug/trace plus
+	// GET /v1/decisions/{id}/explain serve the contents. 0 disables
+	// tracing entirely — the plan path then runs with a nil observer
+	// (zero overhead) and the urpsm_plan_seconds histogram stays empty;
+	// the other latency histograms are always live. Tracing on or off
+	// never changes a decision (DESIGN.md §14); the daemon default is
+	// DefaultTraceEvents.
+	TraceEvents int
+	// Logger receives the server's structured logs; nil discards them.
+	// cmd/urpsm-serve wires it to a slog handler behind -log-level.
+	Logger *slog.Logger
+	// Version labels the urpsm_build_info metric; empty means "dev".
+	Version string
 }
+
+// DefaultTraceEvents is the flight-recorder capacity cmd/urpsm-serve
+// uses unless -trace-events overrides it (~300 bytes per slot).
+const DefaultTraceEvents = 4096
 
 // DefaultBatchWindow is the default admission-window bound.
 const DefaultBatchWindow = 20 * time.Millisecond
@@ -196,6 +217,17 @@ type Server struct {
 	walCheckpoints uint64
 	walScratch     []byte
 	flushScratch   []Decision
+
+	// Observability plane. rec is the flight recorder (nil = tracing
+	// disabled); the histograms are always live — observing them is a few
+	// atomics, cannot affect a decision, and keeps the /metrics series
+	// present either way. log is never nil (discard handler by default).
+	rec         *trace.Recorder
+	log         *slog.Logger
+	histPlan    *trace.Histogram
+	histFlush   *trace.Histogram
+	histWALSync *trace.Histogram
+	histAck     *trace.Histogram
 
 	wakeC     chan struct{}
 	stopC     chan struct{}
@@ -298,6 +330,11 @@ func NewServer(cfg Config) (*Server, error) {
 		planner = core.NewPruneGreedyDP(fleet, cfg.Alpha)
 	}
 
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+
 	world := sim.NewWorld(fleet, shortest.NewBiDijkstra(overlay.Graph()))
 	s := &Server{
 		cfg:            cfg,
@@ -312,10 +349,26 @@ func NewServer(cfg Config) (*Server, error) {
 		traffic:        sim.NewTraffic(overlay, versioned, fleet, world),
 		trafficHistory: history,
 		latency:        newLatencyRing(8192),
+		log:            logger,
+		histPlan:       trace.NewHistogram(trace.LatencyBuckets()),
+		histFlush:      trace.NewHistogram(trace.LatencyBuckets()),
+		histWALSync:    trace.NewHistogram(trace.LatencyBuckets()),
+		histAck:        trace.NewHistogram(trace.LatencyBuckets()),
 		wakeC:          make(chan struct{}, 1),
 		stopC:          make(chan struct{}),
 		doneC:          make(chan struct{}),
 		killC:          make(chan struct{}),
+	}
+	if cfg.TraceEvents > 0 {
+		// Attach the recorder before WAL replay so crash recovery shows up
+		// in the timeline like any other traffic. Both planners implement
+		// core.Observable; the type assertion future-proofs against ones
+		// that do not.
+		s.rec = trace.New(cfg.TraceEvents)
+		s.rec.PlanSeconds = s.histPlan
+		if obs, ok := planner.(core.Observable); ok {
+			obs.SetObserver(s.rec)
+		}
 	}
 	if cfg.Snapshot != nil {
 		s.simTime = cfg.Snapshot.SimTime
@@ -397,6 +450,9 @@ func (s *Server) submit(req *core.Request, defaultRelease bool) (<-chan Decision
 	s.seq++
 	s.pending = append(s.pending, p)
 	s.qmu.Unlock()
+	if s.rec != nil {
+		s.rec.Admit(s.eventTime(), int64(req.ID))
+	}
 	s.kick()
 	return p.done, nil
 }
@@ -497,6 +553,7 @@ func (s *Server) flush() {
 
 	s.smu.Lock()
 	defer s.smu.Unlock()
+	flushStart := time.Now()
 	// A defaulted release means "now": resolve it against the event clock
 	// at flush time, so the clock's progress since admission is not
 	// misread as an out-of-order arrival.
@@ -552,18 +609,42 @@ func (s *Server) flush() {
 	// acknowledging a non-durable decision would break the recovery
 	// contract, so the server refuses to continue.
 	if s.wal != nil {
+		syncStart := time.Now()
 		if err := s.wal.Sync(); err != nil {
 			panic(fmt.Sprintf("serve: wal sync: %v", err))
+		}
+		syncDur := time.Since(syncStart)
+		s.histWALSync.Observe(syncDur.Seconds())
+		if s.rec != nil {
+			s.rec.WALSync(s.simTime, len(ds), syncDur)
 		}
 	}
 	for i, p := range batch {
 		p.done <- ds[i]
+		ackDur := time.Since(p.enq)
+		s.histAck.Observe(ackDur.Seconds())
+		if s.rec != nil {
+			s.rec.Ack(s.simTime, int64(p.req.ID), ackDur)
+		}
 	}
 	s.flushScratch = ds[:0]
+	flushDur := time.Since(flushStart)
+	s.histFlush.Observe(flushDur.Seconds())
+	if s.rec != nil {
+		s.rec.Flush(s.simTime, len(batch), flushDur)
+	}
+	if s.log.Enabled(context.Background(), slog.LevelDebug) {
+		s.log.Debug("batch flushed",
+			"batch", s.batches, "n", len(batch), "sim_time", s.simTime,
+			"accepted", s.accepted, "rejected", s.rejected,
+			"flush_ms", float64(flushDur.Nanoseconds())/1e6)
+	}
 	if s.wal != nil && s.cfg.CheckpointBytes > 0 && s.wal.Size() >= s.cfg.CheckpointBytes {
-		if _, err := s.checkpointLocked(); err != nil {
+		lsn, err := s.checkpointLocked()
+		if err != nil {
 			panic(fmt.Sprintf("serve: wal auto-checkpoint: %v", err))
 		}
+		s.log.Info("auto-checkpoint", "lsn", lsn, "checkpoints", s.walCheckpoints)
 	}
 }
 
@@ -657,6 +738,16 @@ func (s *Server) ApplyTraffic(at *float64, ups []roadnet.TrafficUpdate) (Traffic
 			panic(fmt.Sprintf("serve: wal sync: %v", err))
 		}
 	}
+	if s.rec != nil {
+		s.rec.TrafficEpoch(t, res.Epoch, res.ChangedEdges)
+		// In synchronous mode the rebuild/customization has landed by now;
+		// in async mode the counters describe the last completed one — the
+		// in-flight rebuild appears on the next event.
+		s.rec.Oracle(t, res.Epoch, s.versioned.Rebuilds(), s.versioned.LastRebuild())
+	}
+	s.log.Info("traffic applied",
+		"epoch", res.Epoch, "sim_time", t, "changed_edges", res.ChangedEdges,
+		"routes_repaired", res.Repair.RoutesRepaired, "infeasible_stops", res.Repair.InfeasibleStops)
 	return TrafficResult{
 		Epoch:           res.Epoch,
 		SimTime:         t,
@@ -762,8 +853,15 @@ func (s *Server) Stats() Stats {
 	st.WALCheckpoints = s.walCheckpoints
 	st.WALRecovered = s.walRecovered
 	st.WALTornBytes = s.walTornBytes
+	if s.rec != nil {
+		st.TraceEvents = s.rec.Len()
+	}
 	return st
 }
+
+// TraceRecorder returns the flight recorder, nil when tracing is
+// disabled. Exposed for the daemon's shutdown dump and tests.
+func (s *Server) TraceRecorder() *trace.Recorder { return s.rec }
 
 // WorkerRoute returns the live route of one worker.
 func (s *Server) WorkerRoute(id core.WorkerID) (core.WorkerState, bool) {

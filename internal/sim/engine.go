@@ -40,6 +40,12 @@ type Engine struct {
 	// leg caches — see Traffic). With no events the run is bit-identical
 	// to a nil Traffic.
 	Traffic *Traffic
+	// Observer, when set, is attached to the planner for the duration of
+	// Run if the planner implements core.Observable (both greedy planners
+	// do) — e.g. a trace.Recorder collecting per-request plan timelines.
+	// Observation is read-only; decisions are bit-identical with or
+	// without it.
+	Observer core.PlanObserver
 
 	world *World
 
@@ -69,6 +75,12 @@ func (e *Engine) Run(requests []*core.Request) (Metrics, error) {
 	sort.SliceStable(requests, func(i, j int) bool {
 		return requests[i].Release < requests[j].Release
 	})
+	if e.Observer != nil {
+		if obs, ok := e.Planner.(core.Observable); ok {
+			obs.SetObserver(e.Observer)
+			defer obs.SetObserver(nil)
+		}
+	}
 	deferring, _ := e.Planner.(core.Deferring)
 	for _, r := range requests {
 		if err := r.Validate(); err != nil {

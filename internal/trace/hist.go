@@ -1,0 +1,97 @@
+package trace
+
+// Hand-rolled fixed-bucket Prometheus histograms. The repo takes no
+// dependencies, so the client library is out; the exposition format is
+// simple enough to write directly — cumulative _bucket{le="..."}
+// samples, then _sum and _count — and a fixed bucket ladder keeps
+// Observe allocation-free and lock-free (one atomic add per bucket
+// boundary crossed, a CAS loop for the sum).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent observers.
+// Create with NewHistogram; the zero value is not usable.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds (the +Inf bucket is implicit). The slice is retained.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("trace: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// LatencyBuckets is a 1–2.5–5 ladder from 1µs to 10s — wide enough to
+// hold both a ~12µs plan and a ~10ms fsync with resolution at each end.
+func LatencyBuckets() []float64 {
+	var b []float64
+	for _, decade := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1} {
+		b = append(b, decade, 2.5*decade, 5*decade)
+	}
+	return append(b, 10)
+}
+
+// Observe records one value (in the unit the bounds are in — seconds
+// for the serve-tier latency histograms). Allocation-free.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Cumulative appends the cumulative per-bucket counts (one per bound,
+// plus the +Inf total) to dst and returns it.
+func (h *Histogram) Cumulative(dst []uint64) []uint64 {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		dst = append(dst, cum)
+	}
+	return dst
+}
+
+// WriteProm writes the histogram as one Prometheus text-format metric
+// family: HELP, TYPE and the cumulative bucket/sum/count samples.
+func (h *Histogram) WriteProm(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}

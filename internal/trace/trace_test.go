@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/workload"
+)
+
+func testFleetAndPlanner(t *testing.T) (*core.Fleet, *core.Greedy, []*core.Request) {
+	t.Helper()
+	p := workload.ChengduLike(0.01)
+	g, err := roadnet.Generate(p.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := workload.BuildOn(p, g, shortest.NewBiDijkstra(g).Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := shortest.NewCached(shortest.NewBiDijkstra(g), 1<<16).Dist
+	fleet, err := core.NewFleet(g, dist, inst.Workers, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet, core.NewPruneGreedyDP(fleet, 1), inst.Requests
+}
+
+// TestRecorderRingSemantics pins the ring contract: sequence numbers are
+// dense, the most recent Capacity events survive a wrap in order, and
+// FindPlan returns the newest retained plan for a request.
+func TestRecorderRingSemantics(t *testing.T) {
+	r := New(16)
+	if r.Capacity() != 16 {
+		t.Fatalf("capacity %d, want 16", r.Capacity())
+	}
+	for i := 0; i < 40; i++ {
+		r.Record(Event{Kind: KindAdmit, Req: int64(i)})
+	}
+	evs := r.Events(nil)
+	if len(evs) != 16 || r.Len() != 16 {
+		t.Fatalf("retained %d/%d events, want 16", len(evs), r.Len())
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(40 - 16 + i)
+		if ev.Seq != wantSeq || ev.Req != int64(wantSeq) {
+			t.Fatalf("event %d: seq=%d req=%d, want %d", i, ev.Seq, ev.Req, wantSeq)
+		}
+	}
+
+	r.Record(Event{Kind: KindPlan, Req: 7, Worker: 3})
+	r.Record(Event{Kind: KindPlan, Req: 7, Worker: 5})
+	got, ok := r.FindPlan(7)
+	if !ok || got.Worker != 5 {
+		t.Fatalf("FindPlan(7) = %+v, %v; want newest plan (worker 5)", got, ok)
+	}
+	if _, ok := r.FindPlan(424242); ok {
+		t.Fatal("FindPlan of an unknown request reported a hit")
+	}
+}
+
+// TestRecorderObserverPayload drives real plans through an attached
+// recorder and checks the flattened plan events carry consistent
+// introspection payloads.
+func TestRecorderObserverPayload(t *testing.T) {
+	_, p, reqs := testFleetAndPlanner(t)
+	rec := New(4096)
+	p.SetObserver(rec)
+	served, rejected := 0, 0
+	for _, r := range reqs {
+		if res := p.OnRequest(r.Release, r); res.Served {
+			served++
+		} else {
+			rejected++
+		}
+	}
+	if served == 0 || rejected == 0 {
+		t.Fatalf("workload too small: served=%d rejected=%d", served, rejected)
+	}
+	plans := 0
+	for _, ev := range rec.Events(nil) {
+		if ev.Kind != KindPlan {
+			continue
+		}
+		plans++
+		if ev.Reason == "served" != (ev.Worker >= 0) {
+			t.Fatalf("reason %q with worker %d", ev.Reason, ev.Worker)
+		}
+		if ev.Feasible > ev.Candidates {
+			t.Fatalf("feasible %d > candidates %d", ev.Feasible, ev.Candidates)
+		}
+		if ev.Evaluated+ev.Pruned != ev.Feasible {
+			t.Fatalf("evaluated %d + pruned %d != feasible %d", ev.Evaluated, ev.Pruned, ev.Feasible)
+		}
+		if ev.Feasible > 0 && (math.IsInf(ev.MinLB, 1) || ev.MinLB < 0) {
+			t.Fatalf("min_lb %v with %d feasible", ev.MinLB, ev.Feasible)
+		}
+		if int(ev.NTop) > TopK || (ev.Feasible > 0 && ev.NTop == 0) {
+			t.Fatalf("ntop %d with feasible %d", ev.NTop, ev.Feasible)
+		}
+		if ev.DurNs <= 0 {
+			t.Fatalf("plan duration %d", ev.DurNs)
+		}
+	}
+	if plans == 0 {
+		t.Fatal("no plan events recorded")
+	}
+	if min := min(len(reqs), rec.Capacity()); plans < min/2 {
+		t.Fatalf("only %d plan events for %d requests", plans, len(reqs))
+	}
+}
+
+// TestRecorderPlanZeroAllocs is the acceptance criterion for the real
+// recorder: a warmed planner with an attached Recorder (histogram
+// included) still plans with zero heap allocations per op.
+func TestRecorderPlanZeroAllocs(t *testing.T) {
+	_, p, reqs := testFleetAndPlanner(t)
+	rec := New(1024)
+	rec.PlanSeconds = NewHistogram(LatencyBuckets())
+	p.SetObserver(rec)
+	for _, r := range reqs {
+		p.OnRequest(r.Release, r)
+	}
+	probe := *reqs[len(reqs)-1]
+	probe.Release = 1e9 // far future: advance-free, steady state
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.Plan(probe.Release, &probe)
+	}); allocs != 0 {
+		t.Errorf("Plan with active Recorder allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestEventJSON pins the dump shape: kinds marshal as wire names and the
+// fixed candidate array renders as a variable-length list.
+func TestEventJSON(t *testing.T) {
+	ev := Event{Kind: KindPlan, Req: 9, Worker: 2, Reason: "served", NTop: 2,
+		Top: [TopK]Cand{{Worker: 2, LB: 1.5}, {Worker: 4, LB: 2.5}}}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"kind":"plan"`, `"top_candidates":[{"worker":2,"lb":1.5},{"worker":4,"lb":2.5}]`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("marshaled event %s missing %s", s, want)
+		}
+	}
+	admit := Event{Kind: KindAdmit, Req: 1, Worker: -1}
+	b, err = json.Marshal(admit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "top_candidates") {
+		t.Fatalf("admit event leaked plan payload: %s", b)
+	}
+}
+
+// TestHistogram pins bucket assignment (le is inclusive), the cumulative
+// rendering, and the exposition format output.
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 18.0; got != want {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+	cum := h.Cumulative(nil)
+	want := []uint64{2, 4, 5, 6} // le=1: {0.5,1}; le=2: +{1.5,2}; le=5: +{3}; +Inf: +{10}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative %v, want %v", cum, want)
+		}
+	}
+	var sb strings.Builder
+	h.WriteProm(&sb, "x_seconds", "test histogram.")
+	out := sb.String()
+	for _, line := range []string{
+		"# HELP x_seconds test histogram.",
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{le="1"} 2`,
+		`x_seconds_bucket{le="+Inf"} 6`,
+		"x_seconds_sum 18",
+		"x_seconds_count 6",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition output missing %q:\n%s", line, out)
+		}
+	}
+}
+
+// TestHistogramObserveZeroAllocs: Observe is on the flush path.
+func TestHistogramObserveZeroAllocs(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	if allocs := testing.AllocsPerRun(100, func() { h.Observe(0.003) }); allocs != 0 {
+		t.Errorf("Observe allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestLatencyBucketsAscending guards the ladder NewHistogram depends on.
+func TestLatencyBucketsAscending(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) < 20 {
+		t.Fatalf("only %d buckets", len(b))
+	}
+	NewHistogram(b) // panics if not strictly ascending
+}
+
+// TestRecorderConcurrentRecord runs recorders under -race.
+func TestRecorderConcurrentRecord(t *testing.T) {
+	r := New(64)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				r.Record(Event{Kind: KindAdmit, Req: int64(g*1000 + i)})
+				if i%100 == 0 {
+					r.Events(nil)
+					r.FindPlan(1)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if r.Len() != 64 {
+		t.Fatalf("retained %d, want 64", r.Len())
+	}
+	evs := r.Events(nil)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-dense sequence at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -2,7 +2,7 @@
 # bench-json.sh — run the headline benchmarks and append one labeled run
 # to a JSON benchmark-trajectory artifact (see cmd/benchjson).
 #
-#   scripts/bench-json.sh                         # 100x run -> BENCH_PR7.json, label = short commit
+#   scripts/bench-json.sh                         # 100x run -> BENCH_PR8.json, label = short commit
 #   scripts/bench-json.sh -t 1x -o /tmp/b.json    # CI smoke: one iteration per benchmark
 #   scripts/bench-json.sh -l post-PR4             # explicit label
 #   scripts/bench-json.sh -b 'BenchmarkPruningAblation'  # subset
@@ -12,16 +12,18 @@
 # (speedup-vs-serial), the §4 insertion-operator scaling, the oracle
 # ablation, the decision-phase lower bound, the epoch-aware oracle
 # front under traffic (query latency per tier plus the epoch-advance cost
-# of a full CH rebuild versus a CCH customization), and the WAL group
-# commit (fsync amortization across admission-batch sizes).
+# of a full CH rebuild versus a CCH customization), the WAL group
+# commit (fsync amortization across admission-batch sizes), and the
+# flight-recorder observability tax (plan path with observer on vs off —
+# must stay within noise at 0 allocs/op).
 # -benchmem is always on so allocs/op regressions are recorded in the
 # artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound|BenchmarkDistUnderRebuild|BenchmarkWALCommit'
+BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound|BenchmarkDistUnderRebuild|BenchmarkWALCommit|BenchmarkPlanWithObserver'
 BENCHTIME=100x
-OUT=BENCH_PR7.json
+OUT=BENCH_PR8.json
 LABEL=""
 
 while getopts "b:t:o:l:h" opt; do

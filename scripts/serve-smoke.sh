@@ -4,7 +4,9 @@
 # Builds the commands, generates a fixture network + workload (1500
 # requests), starts urpsm-serve, replays the full workload in -lockstep
 # mode (asserting the served decisions are bit-identical to an offline
-# sim.Engine run and printing p50/p95/p99 latency), then sends SIGTERM
+# sim.Engine run and printing p50/p95/p99 latency), scrapes the
+# observability surface (/metrics histograms, /debug/trace, one
+# /v1/decisions/{id}/explain, /debug/runtime), then sends SIGTERM
 # and asserts a clean drain + snapshot write. A second server then
 # replays the same workload with a mid-replay traffic profile injected
 # via POST /v1/traffic (-traffic): decisions must stay bit-identical to
@@ -37,18 +39,43 @@ echo "== fixture (chengdu preset, scale 0.1: 1500 requests, 60 workers) =="
 
 echo "== start urpsm-serve on $ADDR =="
 "$BIN/urpsm-serve" -net "$WORK/city.net" -load "$WORK/city.load" \
-    -oracle auto -addr "$ADDR" -batch-window 2ms \
+    -oracle auto -addr "$ADDR" -batch-window 2ms -trace-events 16384 \
     -snapshot "$WORK/state.json" > "$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 
 echo "== lockstep replay =="
 "$BIN/urpsm-replay" -net "$WORK/city.net" -load "$WORK/city.load" \
-    -addr "$ADDR" -oracle auto -lockstep
+    -addr "$ADDR" -oracle auto -lockstep -explain 0 | tail -n 20
 
 echo "== scrape /metrics =="
 if command -v curl > /dev/null; then
     curl -sf "http://$ADDR/metrics" | grep -E '^urpsm_(requests_total|batches_total)' || {
         echo "metrics scrape failed" >&2; exit 1; }
+    curl -sf "http://$ADDR/metrics" | grep -q '^urpsm_plan_seconds_count [1-9]' || {
+        echo "plan-latency histogram empty (tracing not wired?)" >&2; exit 1; }
+
+    echo "== scrape /debug/trace and one explain =="
+    # The trace body is multi-MB; grep a file rather than piping a shell
+    # variable (grep -q exits early and pipefail would report the writer's
+    # SIGPIPE as a failure).
+    curl -sf "http://$ADDR/debug/trace" > "$WORK/trace.json"
+    for kind in admit plan_start plan ack flush; do
+        grep -q "\"kind\": \"$kind\"" "$WORK/trace.json" || {
+            echo "/debug/trace has no $kind event" >&2; exit 1; }
+    done
+    # Pick a request id out of the retained trace and ask the server to
+    # explain its decision.
+    REQ=$(awk '/"kind": "plan",/ {found=1}
+               found && /"req":/ {gsub(/[^0-9]/, ""); print; exit}' \
+               "$WORK/trace.json")
+    EXPLAIN=$(curl -sf "http://$ADDR/v1/decisions/$REQ/explain")
+    for field in reason candidates top_candidates plan_ns; do
+        echo "$EXPLAIN" | grep -q "\"$field\"" || {
+            echo "explain for request $REQ missing $field:" >&2
+            echo "$EXPLAIN" >&2; exit 1; }
+    done
+    curl -sf "http://$ADDR/debug/runtime" | grep -q '"goroutines"' || {
+        echo "/debug/runtime scrape failed" >&2; exit 1; }
 fi
 
 echo "== graceful shutdown =="
