@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench bench-json check golden fuzz serve-smoke crash-smoke crash-chaos
+.PHONY: all build vet test race bench-smoke bench bench-json bench-gate check golden fuzz serve-smoke crash-smoke crash-chaos
 
 all: check
 
@@ -24,12 +24,20 @@ bench-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Headline benchmarks -> JSON trajectory artifact (BENCH_PR8.json).
+# Headline benchmarks -> JSON trajectory artifact (BENCH_PR9.json).
 # Override: make bench-json BENCHTIME=1x BENCHOUT=/tmp/bench.json
 BENCHTIME ?= 100x
-BENCHOUT ?= BENCH_PR8.json
+BENCHOUT ?= BENCH_PR9.json
 bench-json:
 	./scripts/bench-json.sh -t $(BENCHTIME) -o $(BENCHOUT)
+
+# Perf regression gate: rerun the headline benchmarks and fail if any
+# shared benchmark is >25% slower than the newest checked-in
+# BENCH_PR*.json run (skipped with a warning on a different CPU model).
+# Override: make bench-gate BENCHTIME=1x GATEBASE=BENCH_PR9.json
+GATEBASE ?=
+bench-gate:
+	./scripts/bench-gate.sh -t $(BENCHTIME) $(if $(GATEBASE),-f $(GATEBASE))
 
 # Regenerate golden files after a deliberate formatter change.
 golden:

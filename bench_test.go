@@ -10,14 +10,23 @@
 package repro
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/expt"
 	"repro/internal/roadnet"
+	"repro/internal/serve"
 	"repro/internal/shortest"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -575,7 +584,7 @@ func BenchmarkWALCommit(b *testing.B) {
 			var admBuf, decBuf, batchBuf []byte
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				batchBuf = wal.AppendBatch(batchBuf[:0], group)
+				batchBuf = wal.AppendBatch(batchBuf[:0], group, 0)
 				l.Append(wal.TypeBatch, batchBuf)
 				for j := 0; j < group; j++ {
 					admBuf = wal.AppendAdmission(admBuf[:0], adm)
@@ -593,6 +602,99 @@ func BenchmarkWALCommit(b *testing.B) {
 				b.ReportMetric(float64(2*group), "records/fsync")
 				b.ReportMetric(elapsed.Seconds()/float64(b.N*group)*1e9, "ns/decision")
 			}
+		})
+	}
+}
+
+// BenchmarkSaturation drives the online dispatch service open-loop over
+// HTTP at fixed offered loads with a bounded admission queue — the
+// in-process twin of `urpsm-replay -rate` (DESIGN.md §15.4). Each
+// iteration fires one request at its scheduled arrival instant without
+// waiting for completions, so at rates past the service capacity the
+// queue fills and deterministic shedding kicks in. Reported per rate:
+// goodput-rps (decided work per wall second), shed-rate (429 fraction of
+// offered) and p99-ms client-observed latency — the numbers whose curve
+// locates the throughput knee.
+func BenchmarkSaturation(b *testing.B) {
+	p := workload.ChengduLike(0.01)
+	g, err := roadnet.Generate(p.Net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := workload.BuildOn(p, g, shortest.NewBiDijkstra(g).Dist)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracle := shortest.BuildHubLabels(g)
+
+	for _, rate := range []float64{500, 2000, 8000} {
+		b.Run(fmt.Sprintf("rate=%v", rate), func(b *testing.B) {
+			srv, err := serve.NewServer(serve.Config{
+				Graph: g, Workers: inst.Workers, Oracle: oracle, OracleKind: "hub",
+				BatchWindow: 2 * time.Millisecond, BatchSize: 16, MaxQueue: 32,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer func() {
+				ts.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = srv.Shutdown(ctx)
+			}()
+			client := ts.Client()
+
+			var decided, shed, failed atomic.Int64
+			var mu sync.Mutex
+			var lat []float64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				due := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				r := inst.Requests[i%len(inst.Requests)]
+				body, _ := json.Marshal(serve.Request{
+					Origin: int64(r.Origin), Dest: int64(r.Dest),
+					Deadline: 1e9, Penalty: r.Penalty, Capacity: r.Capacity,
+				})
+				wg.Add(1)
+				go func(body []byte) {
+					defer wg.Done()
+					t0 := time.Now()
+					resp, err := client.Post(ts.URL+"/v1/requests", "application/json", bytes.NewReader(body))
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						decided.Add(1)
+						ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+						mu.Lock()
+						lat = append(lat, ms)
+						mu.Unlock()
+					case http.StatusTooManyRequests:
+						shed.Add(1)
+					default:
+						failed.Add(1)
+					}
+				}(body)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if failed.Load() > 0 {
+				b.Fatalf("%d requests failed", failed.Load())
+			}
+			b.ReportMetric(float64(decided.Load())/elapsed.Seconds(), "goodput-rps")
+			b.ReportMetric(float64(shed.Load())/float64(b.N), "shed-rate")
+			b.ReportMetric(sim.Percentile(lat, 0.99), "p99-ms")
 		})
 	}
 }

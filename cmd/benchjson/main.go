@@ -11,6 +11,11 @@
 // {"name": "X", "iterations": N, "metrics": {unit1: v1, ...}}, which
 // captures ns/op, B/op, allocs/op and all custom b.ReportMetric units
 // (dist-queries, speedup-vs-serial, ...) uniformly.
+//
+// With -gate, the run on stdin is instead compared against the newest
+// run in -baseline and the exit status reports whether any shared
+// benchmark slowed down beyond -threshold (see gate.go; wired up as
+// `make bench-gate`).
 package main
 
 import (
@@ -59,13 +64,22 @@ const trajectorySchema = "urpsm-bench-trajectory/1"
 
 func main() {
 	var (
-		label     = flag.String("label", "", "label for this run (e.g. pre-PR4, post-PR4; required)")
+		label     = flag.String("label", "", "label for this run (e.g. pre-PR4, post-PR4; required unless -gate)")
 		out       = flag.String("out", "", "trajectory file to append to (default: print the run to stdout)")
 		benchtime = flag.String("benchtime", "", "benchtime the run used, recorded verbatim")
 		commit    = flag.String("commit", "", "commit id to record (default: git rev-parse --short HEAD)")
+		gate      = flag.Bool("gate", false, "gate mode: compare the run on stdin against -baseline instead of recording it")
+		baseline  = flag.String("baseline", "", "gate mode: trajectory file whose newest run is the baseline")
+		threshold = flag.Float64("threshold", 1.25, "gate mode: fail when candidate ns/op exceeds baseline by this ratio")
 	)
 	flag.Parse()
-	if err := run(os.Stdin, *label, *out, *benchtime, *commit); err != nil {
+	var err error
+	if *gate {
+		err = runGate(os.Stdin, *baseline, *threshold)
+	} else {
+		err = run(os.Stdin, *label, *out, *benchtime, *commit)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

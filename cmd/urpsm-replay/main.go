@@ -20,7 +20,19 @@
 //     as fast as the server admits. No equivalence claim is made —
 //     concurrent delivery may reorder arrivals (see DESIGN.md §9.3).
 //
-// Both modes report accepted/rejected counts and p50/p95/p99 latency.
+//   - -rate R1,R2,...: open-loop saturation sweep (DESIGN.md §15). The
+//     trace's requests are recycled as a synthetic arrival process at
+//     each offered load for -duration, arrivals never waiting on
+//     completions, and the resulting goodput/shed/latency curve is
+//     emitted as JSON (FORMATS.md §10) with the throughput knee.
+//
+// Closed-loop modes retry 429/503 responses with jittered exponential
+// backoff honoring the server's Retry-After hint (-retries bounds the
+// attempts); the retry total is reported in the summary. The open-loop
+// mode never retries — shed verdicts are the measurement.
+//
+// Both replay modes report accepted/rejected counts and p50/p95/p99
+// latency.
 package main
 
 import (
@@ -29,11 +41,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cliutil"
@@ -59,13 +74,28 @@ func main() {
 		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
 		explain  = flag.Int64("explain", -1, "after the replay, fetch GET /v1/decisions/{id}/explain for this request id and print it (requires server tracing; -1 = off)")
+		retries  = flag.Int("retries", 4, "closed-loop: max resends per request on 429/503, with jittered exponential backoff honoring Retry-After (0 = fail on the first shed)")
+		seed     = flag.Int64("seed", 1, "seed of the open-loop arrival schedule and the backoff jitter")
+		rates    = flag.String("rate", "", "open-loop saturation mode: comma-separated offered loads in req/s to sweep (emits a JSON rate curve instead of replaying the trace's schedule)")
+		satDur   = flag.Duration("duration", 5*time.Second, "open-loop: measurement window per swept rate")
+		arrivals = flag.String("arrivals", "poisson", "open-loop arrival process: poisson | constant")
+		outFile  = flag.String("out", "", "open-loop: write the JSON rate curve here (default stdout)")
 	)
 	flag.Parse()
+	sat := satOpts{rates: *rates, duration: *satDur, arrivals: *arrivals, out: *outFile}
 	if err := run(*netFile, *loadFile, *traffic, *addr, *oracle, *speedup, *n, *parallel,
-		*alpha, *wait, *timeout, *lockstep, *explain); err != nil {
+		*alpha, *wait, *timeout, *lockstep, *explain, *retries, *seed, sat); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-replay:", err)
 		os.Exit(1)
 	}
+}
+
+// satOpts groups the open-loop saturation flags.
+type satOpts struct {
+	rates    string
+	duration time.Duration
+	arrivals string
+	out      string
 }
 
 // outcome pairs a decision with its client-observed latency.
@@ -76,9 +106,16 @@ type outcome struct {
 }
 
 func run(netFile, loadFile, trafficFile, addr, oracleKind string, speedup float64, n, parallel int,
-	alpha float64, wait, timeout time.Duration, lockstep bool, explainID int64) error {
+	alpha float64, wait, timeout time.Duration, lockstep bool, explainID int64,
+	retries int, seed int64, sat satOpts) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load are required")
+	}
+	if sat.rates != "" && lockstep {
+		return fmt.Errorf("-rate (open loop) and -lockstep are mutually exclusive")
+	}
+	if sat.rates != "" && trafficFile != "" {
+		return fmt.Errorf("-traffic is not supported in open-loop -rate mode")
 	}
 	if err := cliutil.CheckOracle(oracleKind); err != nil {
 		return err
@@ -151,15 +188,28 @@ func run(netFile, loadFile, trafficFile, addr, oracleKind string, speedup float6
 	if err := waitReady(client, base, wait); err != nil {
 		return err
 	}
+
+	if sat.rates != "" {
+		rateList, err := parseRates(sat.rates)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saturation sweep: %d rate(s), %s per point, %s arrivals, against %s\n",
+			len(rateList), sat.duration, sat.arrivals, base)
+		return runSaturation(client, base, reqs, rateList, sat.duration, sat.arrivals, seed, sat.out)
+	}
+
 	fmt.Printf("replaying %d requests from %s to %s (mode: %s)\n",
 		len(reqs), loadFile, base, mode(lockstep, speedup))
 
+	rt := &retrier{client: client, base: base, max: retries,
+		rng: rand.New(rand.NewSource(seed))}
 	start := time.Now()
 	var outcomes []outcome
 	if lockstep {
-		outcomes, err = replaySequential(client, base, reqs, profile)
+		outcomes, err = replaySequential(rt, reqs, profile)
 	} else {
-		outcomes, err = replayPaced(client, base, reqs, profile, speedup)
+		outcomes, err = replayPaced(rt, reqs, profile, speedup)
 	}
 	if err != nil {
 		return err
@@ -183,6 +233,9 @@ func run(netFile, loadFile, trafficFile, addr, oracleKind string, speedup float6
 	fmt.Printf("done in %.2fs: %d accepted, %d rejected, %d failed (%.0f req/s)\n",
 		elapsed.Seconds(), accepted, rejected, failed,
 		float64(len(outcomes))/elapsed.Seconds())
+	if nr := rt.retries.Load(); nr > 0 {
+		fmt.Printf("retries: %d resend(s) after 429/503, backoff honored Retry-After\n", nr)
+	}
 	fmt.Printf("latency ms: p50=%.3f p95=%.3f p99=%.3f\n",
 		sim.Percentile(lat, 0.50), sim.Percentile(lat, 0.95), sim.Percentile(lat, 0.99))
 	if failed > 0 {
@@ -287,29 +340,125 @@ func waitReady(client *http.Client, base string, wait time.Duration) error {
 	}
 }
 
-// send posts one request and decodes its decision.
-func send(client *http.Client, base string, r *core.Request) outcome {
-	id := int32(r.ID)
-	rel := r.Release
-	body, _ := json.Marshal(serve.Request{
-		ID: &id, Origin: int64(r.Origin), Dest: int64(r.Dest),
-		Release: &rel, Deadline: r.Deadline, Penalty: r.Penalty, Capacity: r.Capacity,
-	})
-	start := time.Now()
+// parseRates splits the -rate list into offered loads.
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -rate entry %q: %w", f, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rate lists no rates")
+	}
+	return out, nil
+}
+
+// postDecision posts one request and classifies the response. 200 and
+// 429 carry a Decision body; 503 comes back as a bare status for the
+// retrier; any other status is an error carrying the server's message.
+// Transport and decode failures are errors.
+func postDecision(client *http.Client, base string, wire serve.Request) (serve.Decision, int, time.Duration, error) {
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return serve.Decision{}, 0, 0, err
+	}
 	resp, err := client.Post(base+"/v1/requests", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return outcome{httpErr: err}
+		return serve.Decision{}, 0, 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	var retryAfter time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusTooManyRequests:
+		var d serve.Decision
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			return serve.Decision{}, resp.StatusCode, retryAfter, err
+		}
+		return d, resp.StatusCode, retryAfter, nil
+	case http.StatusServiceUnavailable:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		return serve.Decision{}, resp.StatusCode, retryAfter, nil
+	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return outcome{httpErr: fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))}
+		return serve.Decision{}, resp.StatusCode, retryAfter,
+			fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
 	}
-	var d serve.Decision
-	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
-		return outcome{httpErr: err}
+}
+
+// retrier resends shed (429) and unavailable (503) requests with
+// jittered exponential backoff, honoring the server's Retry-After hint
+// (DESIGN.md §15). The jitter draws from a seeded source so runs are
+// reproducible; the sleep is max(hint, 50ms·2^attempt, capped at 5s)
+// plus up to a quarter of that in jitter to de-synchronize clients.
+type retrier struct {
+	client  *http.Client
+	base    string
+	max     int // resends allowed per request
+	mu      sync.Mutex
+	rng     *rand.Rand
+	retries atomic.Int64
+}
+
+func (rt *retrier) backoff(attempt int, hint time.Duration) time.Duration {
+	d := 50 * time.Millisecond << uint(min(attempt, 10))
+	if d > 5*time.Second {
+		d = 5 * time.Second
 	}
-	return outcome{d: d, rttMs: float64(time.Since(start).Nanoseconds()) / 1e6}
+	if hint > d {
+		d = hint
+	}
+	rt.mu.Lock()
+	jitter := time.Duration(rt.rng.Int63n(int64(d)/4 + 1))
+	rt.mu.Unlock()
+	return d + jitter
+}
+
+// send posts one request until it is decided, shed past the retry
+// budget, or failed. The reported latency spans all attempts including
+// backoff sleeps — the client-observed time to a verdict.
+func (rt *retrier) send(r *core.Request) outcome {
+	id := int32(r.ID)
+	rel := r.Release
+	wire := serve.Request{
+		ID: &id, Origin: int64(r.Origin), Dest: int64(r.Dest),
+		Release: &rel, Deadline: r.Deadline, Penalty: r.Penalty, Capacity: r.Capacity,
+	}
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		d, status, hint, err := postDecision(rt.client, rt.base, wire)
+		if err != nil {
+			return outcome{httpErr: err}
+		}
+		switch status {
+		case http.StatusOK:
+			return outcome{d: d, rttMs: float64(time.Since(start).Nanoseconds()) / 1e6}
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if ra := time.Duration(d.RetryAfterMs) * time.Millisecond; ra > hint {
+				hint = ra
+			}
+			if attempt >= rt.max {
+				return outcome{httpErr: fmt.Errorf(
+					"status %d after %d attempt(s): shed by the server; raise -retries or lower the offered load",
+					status, attempt+1)}
+			}
+			rt.retries.Add(1)
+			time.Sleep(rt.backoff(attempt, hint))
+		default:
+			return outcome{httpErr: fmt.Errorf("unexpected status %d", status)}
+		}
+	}
 }
 
 // sendTraffic posts one traffic event (at its trace time) and fails hard
@@ -340,7 +489,7 @@ func sendTraffic(client *http.Client, base string, e roadnet.TrafficEvent) error
 // arrived, pinning the server's processing order for -lockstep. Traffic
 // events are injected before the first request released at or after
 // their time — exactly when the offline engine's timeline applies them.
-func replaySequential(client *http.Client, base string, reqs []*core.Request, profile *roadnet.TrafficProfile) ([]outcome, error) {
+func replaySequential(rt *retrier, reqs []*core.Request, profile *roadnet.TrafficProfile) ([]outcome, error) {
 	outcomes := make([]outcome, 0, len(reqs))
 	next := 0
 	var events []roadnet.TrafficEvent
@@ -349,12 +498,12 @@ func replaySequential(client *http.Client, base string, reqs []*core.Request, pr
 	}
 	for _, r := range reqs {
 		for next < len(events) && events[next].At <= r.Release {
-			if err := sendTraffic(client, base, events[next]); err != nil {
+			if err := sendTraffic(rt.client, rt.base, events[next]); err != nil {
 				return nil, err
 			}
 			next++
 		}
-		o := send(client, base, r)
+		o := rt.send(r)
 		if o.httpErr != nil {
 			// Sequential replay aborts on the first failure: every later
 			// decision would diverge from the offline reference anyway.
@@ -369,7 +518,7 @@ func replaySequential(client *http.Client, base string, reqs []*core.Request, pr
 // by speedup (0 = no pacing), each from its own goroutine. Traffic events
 // are injected inline on the same schedule (no equivalence claim in this
 // mode; see DESIGN.md §9.3).
-func replayPaced(client *http.Client, base string, reqs []*core.Request, profile *roadnet.TrafficProfile, speedup float64) ([]outcome, error) {
+func replayPaced(rt *retrier, reqs []*core.Request, profile *roadnet.TrafficProfile, speedup float64) ([]outcome, error) {
 	outcomes := make([]outcome, len(reqs))
 	sem := make(chan struct{}, 256) // bound in-flight requests
 	var wg sync.WaitGroup
@@ -382,7 +531,7 @@ func replayPaced(client *http.Client, base string, reqs []*core.Request, profile
 	}
 	for i, r := range reqs {
 		for next < len(events) && events[next].At <= r.Release {
-			if err := sendTraffic(client, base, events[next]); err != nil {
+			if err := sendTraffic(rt.client, rt.base, events[next]); err != nil {
 				return nil, err
 			}
 			next++
@@ -397,7 +546,7 @@ func replayPaced(client *http.Client, base string, reqs []*core.Request, profile
 		wg.Add(1)
 		go func(i int, r *core.Request) {
 			defer wg.Done()
-			outcomes[i] = send(client, base, r)
+			outcomes[i] = rt.send(r)
 			<-sem
 		}(i, r)
 	}

@@ -1,0 +1,225 @@
+package main
+
+// Open-loop saturation mode (-rate): instead of replaying the trace on
+// its own schedule, the client generates a synthetic arrival process at
+// a fixed offered load and sweeps a list of rates to locate the
+// server's throughput knee. Open loop means arrivals never wait for
+// completions — exactly the regime where an unbounded queue melts down
+// and bounded admission (urpsm-serve -max-queue) starts shedding — so
+// the curve exposes offered load vs goodput, shed rate and latency
+// percentiles per rate. The output is a JSON document (FORMATS.md §10,
+// urpsm-saturation/1) consumable by cmd/benchjson -saturation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// satFormat and satVersion pin the curve document's schema.
+const (
+	satFormat  = "urpsm-saturation"
+	satVersion = 1
+)
+
+// satLatency carries client-observed round-trip percentiles of the
+// decided (non-shed) requests at one rate.
+type satLatency struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// satPoint is one swept rate.
+type satPoint struct {
+	// RateRPS is the offered load the arrival process targeted.
+	RateRPS float64 `json:"rate_rps"`
+	// Offered counts arrivals fired; Decided those answered 200 (planned,
+	// accepted or rejected); Accepted the accepted subset; Shed the 429
+	// verdicts; Failed transport or server errors.
+	Offered  int `json:"offered"`
+	Decided  int `json:"decided"`
+	Accepted int `json:"accepted"`
+	Shed     int `json:"shed"`
+	Failed   int `json:"failed"`
+	// GoodputRPS is decided work per wall second; ShedRate the shed
+	// fraction of offered load.
+	GoodputRPS float64    `json:"goodput_rps"`
+	ShedRate   float64    `json:"shed_rate"`
+	LatencyMs  satLatency `json:"latency_ms"`
+}
+
+// satCurve is the whole sweep.
+type satCurve struct {
+	Format    string     `json:"format"`
+	Version   int        `json:"version"`
+	Arrivals  string     `json:"arrivals"`
+	DurationS float64    `json:"duration_s"`
+	Seed      int64      `json:"seed"`
+	Points    []satPoint `json:"points"`
+	// KneeRPS is the highest swept rate the server still kept up with
+	// (goodput ≥ 95% of offered load); 0 when even the lowest rate
+	// saturated.
+	KneeRPS float64 `json:"knee_rps"`
+}
+
+// runSaturation sweeps the offered-load list and writes the curve to
+// outFile ("" = stdout).
+func runSaturation(client *http.Client, base string, reqs []*core.Request,
+	rates []float64, duration time.Duration, arrivals string, seed int64, outFile string) error {
+	if arrivals != "poisson" && arrivals != "constant" {
+		return fmt.Errorf("-arrivals must be poisson or constant, got %q", arrivals)
+	}
+	curve := satCurve{
+		Format:    satFormat,
+		Version:   satVersion,
+		Arrivals:  arrivals,
+		DurationS: duration.Seconds(),
+		Seed:      seed,
+	}
+	for i, rate := range rates {
+		if rate <= 0 {
+			return fmt.Errorf("rate %g must be positive", rate)
+		}
+		p, err := measureRate(client, base, reqs, rate, duration, arrivals, seed+int64(i))
+		if err != nil {
+			return err
+		}
+		curve.Points = append(curve.Points, p)
+		fmt.Fprintf(os.Stderr,
+			"rate %g: offered %d decided %d shed %d failed %d goodput %.1f req/s p95=%.2fms\n",
+			rate, p.Offered, p.Decided, p.Shed, p.Failed, p.GoodputRPS, p.LatencyMs.P95)
+	}
+	for _, p := range curve.Points {
+		if p.GoodputRPS >= 0.95*p.RateRPS && p.RateRPS > curve.KneeRPS {
+			curve.KneeRPS = p.RateRPS
+		}
+	}
+	fmt.Fprintf(os.Stderr, "throughput knee: %g req/s (highest rate with goodput >= 95%% of offered)\n",
+		curve.KneeRPS)
+
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(curve)
+}
+
+// measureRate drives one open-loop point: arrivals are scheduled up
+// front from the seeded process, each fired at its instant regardless of
+// how many are still in flight, and every response is classified.
+func measureRate(client *http.Client, base string, reqs []*core.Request,
+	rate float64, duration time.Duration, arrivals string, seed int64) (satPoint, error) {
+	st, err := fetchStats(client, base)
+	if err != nil {
+		return satPoint{}, err
+	}
+	simNow := st.SimTime
+
+	rng := rand.New(rand.NewSource(seed))
+	var offsets []time.Duration
+	for t := 0.0; ; {
+		dt := 1.0 / rate
+		if arrivals == "poisson" {
+			dt = rng.ExpFloat64() / rate
+		}
+		t += dt
+		if t >= duration.Seconds() {
+			break
+		}
+		offsets = append(offsets, time.Duration(t*float64(time.Second)))
+	}
+	if len(offsets) == 0 {
+		return satPoint{}, fmt.Errorf("rate %g over %s yields no arrivals", rate, duration)
+	}
+
+	type result struct {
+		status int
+		rttMs  float64
+		d      serve.Decision
+		err    error
+	}
+	results := make([]result, len(offsets))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, off := range offsets {
+		if d := time.Until(start.Add(off)); d > 0 {
+			time.Sleep(d)
+		}
+		// Recycle the trace's requests with server-assigned IDs and
+		// defaulted releases ("now" on the server's event clock); the
+		// original deadline slack is preserved relative to the clock at
+		// sweep start so feasibility does not decay across points.
+		r := reqs[i%len(reqs)]
+		body := serve.Request{
+			Origin: int64(r.Origin), Dest: int64(r.Dest),
+			Deadline: simNow + (r.Deadline - r.Release) + duration.Seconds(),
+			Penalty:  r.Penalty, Capacity: r.Capacity,
+		}
+		wg.Add(1)
+		go func(i int, body serve.Request) {
+			defer wg.Done()
+			t0 := time.Now()
+			d, status, _, err := postDecision(client, base, body)
+			results[i] = result{status: status, rttMs: float64(time.Since(t0).Nanoseconds()) / 1e6, d: d, err: err}
+		}(i, body)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	p := satPoint{RateRPS: rate, Offered: len(offsets)}
+	var lat []float64
+	for _, res := range results {
+		switch {
+		case res.err != nil:
+			p.Failed++
+		case res.status == http.StatusTooManyRequests:
+			p.Shed++
+		case res.status == http.StatusOK:
+			p.Decided++
+			lat = append(lat, res.rttMs)
+			if res.d.Accepted {
+				p.Accepted++
+			}
+		default:
+			p.Failed++
+		}
+	}
+	p.GoodputRPS = float64(p.Decided) / elapsed.Seconds()
+	p.ShedRate = float64(p.Shed) / float64(p.Offered)
+	p.LatencyMs = satLatency{
+		P50: sim.Percentile(lat, 0.50),
+		P95: sim.Percentile(lat, 0.95),
+		P99: sim.Percentile(lat, 0.99),
+	}
+	return p, nil
+}
+
+// fetchStats reads GET /v1/stats.
+func fetchStats(client *http.Client, base string) (serve.Stats, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return serve.Stats{}, err
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.Stats{}, err
+	}
+	return st, nil
+}

@@ -22,6 +22,16 @@
 // ever acknowledged. -wal and -snapshot are mutually exclusive (the
 // checkpoint is the snapshot). See DESIGN.md §13 and FORMATS.md §7–8.
 //
+// Overload (DESIGN.md §15): with -max-queue N admission is bounded —
+// beyond N pending requests the deterministic shed policy turns away
+// the lowest-value request in sight (deadline-infeasible first, then
+// lowest rejection penalty p_r) with HTTP 429 + Retry-After, WAL-logged
+// so recovery and replay stay bit-exact under overload. With
+// -degrade-target D the graceful-degradation ladder watches the p95
+// per-batch plan time and sheds capacity in deterministic stages
+// (smaller batches, serial dispatch, tighter queue) after
+// -degrade-window consecutive breaches, recovering in reverse.
+//
 // API: POST /v1/requests, POST /v1/traffic, POST /v1/checkpoint,
 // GET /v1/workers/{id}/route, GET /v1/decisions/{id}, GET /v1/stats,
 // GET /v1/snapshot, GET /metrics (Prometheus text). See FORMATS.md §5.
@@ -68,6 +78,9 @@ func main() {
 		addr        = flag.String("addr", ":8650", "HTTP listen address")
 		batchWindow = flag.Duration("batch-window", serve.DefaultBatchWindow, "max time a request waits for its admission batch")
 		batchSize   = flag.Int("batch-size", serve.DefaultBatchSize, "flush an admission batch early at this many requests")
+		maxQueue    = flag.Int("max-queue", 0, "bound the pending admission queue: beyond this many requests the lowest-value one is shed with HTTP 429 (0 = unbounded)")
+		degTarget   = flag.Duration("degrade-target", 0, "p95 per-batch plan-time SLO driving the graceful-degradation ladder (0 = ladder disabled)")
+		degWindow   = flag.Int("degrade-window", serve.DefaultDegradeWindow, "consecutive batches breaching (or clearing) the SLO before the ladder moves a stage")
 		parallel    = flag.Int("parallel", 0, "plan with a parallel dispatcher pool of this size (≤1 = serial)")
 		gridKm      = flag.Float64("grid", 2, "grid cell size g in km")
 		alpha       = flag.Float64("alpha", 1, "unified-cost weight α")
@@ -82,16 +95,25 @@ func main() {
 	flag.Parse()
 	if err := run(*netFile, *loadFile, *oracle, *addr, *batchWindow, *batchSize,
 		*parallel, *gridKm, *alpha, *snapshot, *walDir, *walCkpt, *pprofAddr,
-		*asyncRb, *traceEv, *logLevel); err != nil {
+		*asyncRb, *traceEv, *logLevel,
+		overload{maxQueue: *maxQueue, target: *degTarget, window: *degWindow}); err != nil {
 		fmt.Fprintln(os.Stderr, "urpsm-serve:", err)
 		os.Exit(1)
 	}
 }
 
+// overload groups the bounded-admission and degradation-ladder knobs
+// (DESIGN.md §15).
+type overload struct {
+	maxQueue int
+	target   time.Duration
+	window   int
+}
+
 func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 	batchSize, parallel int, gridKm, alpha float64, snapshotFile, walDir string,
 	walCkptBytes int64, pprofAddr string, asyncRebuild bool, traceEvents int,
-	logLevel string) error {
+	logLevel string, ovl overload) error {
 	if netFile == "" || loadFile == "" {
 		return fmt.Errorf("-net and -load are required")
 	}
@@ -129,20 +151,23 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		return err
 	}
 	cfg := serve.Config{
-		Graph:        g,
-		Workers:      inst.Workers,
-		Oracle:       oracle,
-		OracleKind:   resolved,
-		Alpha:        alpha,
-		CellMeters:   gridKm * 1000,
-		BatchWindow:  batchWindow,
-		BatchSize:    batchSize,
-		Pool:         parallel,
-		AsyncRebuild: asyncRebuild,
-		WALDir:       walDir,
-		TraceEvents:  traceEvents,
-		Logger:       logger,
-		Version:      version,
+		Graph:         g,
+		Workers:       inst.Workers,
+		Oracle:        oracle,
+		OracleKind:    resolved,
+		Alpha:         alpha,
+		CellMeters:    gridKm * 1000,
+		BatchWindow:   batchWindow,
+		BatchSize:     batchSize,
+		MaxQueue:      ovl.maxQueue,
+		DegradeTarget: ovl.target,
+		DegradeWindow: ovl.window,
+		Pool:          parallel,
+		AsyncRebuild:  asyncRebuild,
+		WALDir:        walDir,
+		TraceEvents:   traceEvents,
+		Logger:        logger,
+		Version:       version,
 	}
 	if walDir != "" {
 		cfg.CheckpointBytes = walCkptBytes
@@ -180,11 +205,25 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// A hardened server: a stalled or malicious peer cannot hold a
+	// connection open indefinitely (slowloris) or feed an unbounded
+	// header. The write timeout must cover a full batch window — a
+	// decision response legitimately blocks until its batch flushes —
+	// so it scales with the window instead of cutting healthy requests
+	// off. Request bodies are bounded per-handler with MaxBytesReader.
+	writeTimeout := 2*batchWindow + 30*time.Second
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
 
-	fmt.Printf("urpsm-serve on %s: net=%s |V|=%d |E|=%d workers=%d oracle=%s algo=%s batch-window=%s batch-size=%d\n",
+	fmt.Printf("urpsm-serve on %s: net=%s |V|=%d |E|=%d workers=%d oracle=%s algo=%s batch-window=%s batch-size=%d max-queue=%d\n",
 		ln.Addr(), netFile, g.NumVertices(), g.NumEdges(), len(inst.Workers),
-		resolved, srv.Planner(), batchWindow, batchSize)
+		resolved, srv.Planner(), batchWindow, batchSize, ovl.maxQueue)
 
 	errC := make(chan error, 1)
 	go func() {
@@ -203,7 +242,9 @@ func run(netFile, loadFile, oracleKind, addr string, batchWindow time.Duration,
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		pprofSrv = &http.Server{Addr: pprofAddr, Handler: mux}
+		// Header-read timeout only: profile endpoints legitimately stream
+		// for tens of seconds, so no write timeout here.
+		pprofSrv = &http.Server{Addr: pprofAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		logger.Info("pprof listening", "url", "http://"+pprofAddr+"/debug/pprof/")
 		go func() {
 			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

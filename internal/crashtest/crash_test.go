@@ -200,6 +200,7 @@ type daemon struct {
 	t      *testing.T
 	fix    *fixture
 	walDir string
+	extra  []string // appended flags; a repeated flag overrides the default
 	cmd    *exec.Cmd
 	base   string // http://host:port
 	out    lockedBuf
@@ -212,11 +213,13 @@ type daemon struct {
 // address (-addr 127.0.0.1:0 makes the kernel pick a free port).
 func (d *daemon) start() {
 	d.t.Helper()
-	cmd := exec.Command(d.fix.binPath,
+	args := []string{
 		"-net", d.fix.netF, "-load", d.fix.loadF,
 		"-oracle", "hub", "-addr", "127.0.0.1:0",
 		"-batch-window", "2ms",
-		"-wal", d.walDir, "-wal-checkpoint-bytes", "16384")
+		"-wal", d.walDir, "-wal-checkpoint-bytes", "16384"}
+	args = append(args, d.extra...)
+	cmd := exec.Command(d.fix.binPath, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		d.t.Fatal(err)

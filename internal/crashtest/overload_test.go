@@ -1,0 +1,262 @@
+package crashtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// overloadRunner drives bursts of concurrent requests against a daemon
+// whose admission queue is bounded, pinning the arrival order by polling
+// the submitted counter after each launch — the only way to make an
+// overload workload reproducible across process boundaries.
+type overloadRunner struct {
+	t      *testing.T
+	d      *daemon
+	client *http.Client
+	window time.Duration // the daemon's batch window
+}
+
+func (o *overloadRunner) stats() serve.Stats {
+	o.t.Helper()
+	resp, err := o.client.Get(o.d.base + "/v1/stats")
+	if err != nil {
+		o.t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		o.t.Fatalf("stats: %v", err)
+	}
+	return st
+}
+
+// post sends one request and decodes the decision from either a 200 or
+// a 429 response.
+func (o *overloadRunner) post(r *core.Request) (serve.Decision, error) {
+	id, rel := int32(r.ID), r.Release
+	body, err := json.Marshal(serve.Request{
+		ID: &id, Origin: int64(r.Origin), Dest: int64(r.Dest),
+		Release: &rel, Deadline: r.Deadline, Penalty: r.Penalty,
+		Capacity: r.Capacity,
+	})
+	if err != nil {
+		return serve.Decision{}, err
+	}
+	resp, err := o.client.Post(o.d.base+"/v1/requests", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.Decision{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.Decision{}, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+		return serve.Decision{}, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var d serve.Decision
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return serve.Decision{}, err
+	}
+	return d, nil
+}
+
+// waitSubmitted polls until the daemon has admitted (or shed) n
+// requests in total — the arrival-order barrier between launches.
+func (o *overloadRunner) waitSubmitted(n int) {
+	o.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for o.stats().Submitted < n {
+		if time.Now().After(deadline) {
+			o.t.Fatalf("daemon never reached %d submissions", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// launch fires the burst's requests concurrently but in a pinned
+// arrival order, returning before any verdict is delivered (verdicts
+// only come with the next flush).
+func (o *overloadRunner) launch(reqs []*core.Request) (*sync.WaitGroup, []serve.Decision, []error) {
+	o.t.Helper()
+	base := o.stats().Submitted
+	ds := make([]serve.Decision, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r *core.Request) {
+			defer wg.Done()
+			ds[i], errs[i] = o.post(r)
+		}(i, r)
+		o.waitSubmitted(base + i + 1)
+	}
+	return &wg, ds, errs
+}
+
+// burst launches reqs in pinned order and waits for every verdict.
+func (o *overloadRunner) burst(reqs []*core.Request) []serve.Decision {
+	o.t.Helper()
+	wg, ds, errs := o.launch(reqs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			o.t.Fatalf("request %d: %v\ndaemon output:\n%s", reqs[i].ID, err, o.d.out.String())
+		}
+	}
+	return ds
+}
+
+// stored fetches a retained decision, failing the test on 404 — used
+// after recovery when the whole burst is known durable.
+func (o *overloadRunner) stored(id int32) serve.Decision {
+	o.t.Helper()
+	resp, err := o.client.Get(fmt.Sprintf("%s/v1/decisions/%d", o.d.base, id))
+	if err != nil {
+		o.t.Fatalf("decisions/%d: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		o.t.Fatalf("decisions/%d: status %d", id, resp.StatusCode)
+	}
+	var d serve.Decision
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		o.t.Fatalf("decisions/%d: %v", id, err)
+	}
+	return d
+}
+
+// hasStored reports whether the daemon retained a decision for id.
+func (o *overloadRunner) hasStored(id int32) bool {
+	o.t.Helper()
+	resp, err := o.client.Get(fmt.Sprintf("%s/v1/decisions/%d", o.d.base, id))
+	if err != nil {
+		o.t.Fatalf("decisions/%d: %v", id, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// appendStream renders decisions (shed verdicts included) in request
+// order onto the canonical comparison stream.
+func appendStream(buf *bytes.Buffer, ds []serve.Decision) {
+	for _, d := range ds {
+		fmt.Fprintf(buf, "%d %t %t %d %016x %016x\n",
+			d.ID, d.Accepted, d.Shed, d.Worker,
+			math.Float64bits(d.Delta), math.Float64bits(d.SimTime))
+	}
+}
+
+// TestOverloadCrashEquivalence is the overload kill point: a daemon
+// running with a bounded queue is driven into shedding, SIGKILLed with
+// a full burst in flight (its commit group not yet durable), restarted,
+// and re-driven — and the complete verdict stream, sheds included, is
+// byte-identical to an uninterrupted daemon's. The recovery protocol
+// under overload is the same as under normal load: whatever the WAL
+// holds is truth, whatever it doesn't never happened and is resent.
+func TestOverloadCrashEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness execs the real daemon; skipped in -short")
+	}
+	fix := buildFixture(t, envFloat("CRASH_SCALE", 0.02))
+	const window = 600 * time.Millisecond
+	const maxQueue = 3
+	const burstN = 8
+	if len(fix.reqs) < 3*burstN {
+		t.Fatalf("workload too small: %d requests", len(fix.reqs))
+	}
+	bursts := [][]*core.Request{
+		fix.reqs[0*burstN : 1*burstN],
+		fix.reqs[1*burstN : 2*burstN],
+		fix.reqs[2*burstN : 3*burstN],
+	}
+	extra := []string{
+		"-batch-window", window.String(),
+		"-max-queue", fmt.Sprint(maxQueue),
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	run := func(walDir string, kill bool) (*bytes.Buffer, serve.Stats, *daemon) {
+		d := &daemon{t: t, fix: fix, walDir: walDir, extra: extra}
+		o := &overloadRunner{t: t, d: d, client: client, window: window}
+		d.start()
+		var stream bytes.Buffer
+
+		appendStream(&stream, o.burst(bursts[0]))
+
+		if kill {
+			// The overload kill: the burst is fully admitted (queue full,
+			// victims parked for the next flush) but the window has not
+			// expired — nothing about it is durable yet.
+			wg, _, _ := o.launch(bursts[1])
+			d.kill()
+			wg.Wait() // the in-flight posts fail with the connection
+			d.start()
+			if o.hasStored(int32(bursts[1][0].ID)) {
+				// The flush raced the kill and won: the whole commit group
+				// is durable (groups are atomic), so every verdict is
+				// resolvable without resending.
+				ds := make([]serve.Decision, len(bursts[1]))
+				for i, r := range bursts[1] {
+					ds[i] = o.stored(int32(r.ID))
+				}
+				appendStream(&stream, ds)
+			} else {
+				// Nothing committed: the pre-burst state was recovered
+				// exactly, so resending the burst in the same pinned order
+				// must reproduce the uninterrupted run's verdicts.
+				appendStream(&stream, o.burst(bursts[1]))
+			}
+		} else {
+			appendStream(&stream, o.burst(bursts[1]))
+		}
+
+		appendStream(&stream, o.burst(bursts[2]))
+		st := o.stats()
+		d.shutdown()
+		return &stream, st, d
+	}
+
+	refStream, refStats, refD := run(t.TempDir(), false)
+	killStream, killStats, killD := run(t.TempDir(), true)
+	t.Logf("ref: %d starts; kill: %d starts, %d records replayed; shed %d/%d",
+		refD.starts, killD.starts, killD.recovered, killStats.Shed, killStats.Submitted)
+
+	if refStats.Shed == 0 {
+		t.Fatal("the bounded queue never shed: the harness is not generating overload")
+	}
+	if killD.starts != 2 {
+		t.Errorf("killed run made %d starts, want 2", killD.starts)
+	}
+	if !bytes.Equal(refStream.Bytes(), killStream.Bytes()) {
+		t.Fatalf("verdict streams diverge:\n%s", firstDiff(refStream.String(), killStream.String()))
+	}
+	type cmp struct {
+		name string
+		a, b any
+	}
+	for _, c := range []cmp{
+		{"submitted", refStats.Submitted, killStats.Submitted},
+		{"shed", refStats.Shed, killStats.Shed},
+		{"requests", refStats.Requests, killStats.Requests},
+		{"accepted", refStats.Accepted, killStats.Accepted},
+		{"rejected", refStats.Rejected, killStats.Rejected},
+		{"penalty_sum", math.Float64bits(refStats.PenaltySum), math.Float64bits(killStats.PenaltySum)},
+		{"total_distance", math.Float64bits(refStats.TotalDistance), math.Float64bits(killStats.TotalDistance)},
+		{"sim_time", math.Float64bits(refStats.SimTime), math.Float64bits(killStats.SimTime)},
+	} {
+		if c.a != c.b {
+			t.Errorf("final stats diverge on %s: uninterrupted %v, killed %v", c.name, c.a, c.b)
+		}
+	}
+}

@@ -60,6 +60,13 @@ type Decision struct {
 	Batch int `json:"batch,omitempty"`
 	// WaitMs is the server-side admission-to-decision latency.
 	WaitMs float64 `json:"wait_ms,omitempty"`
+	// Shed reports that the request was turned away by the overload shed
+	// policy (DESIGN.md §15) without being planned; delivered with HTTP
+	// 429. Accepted is always false and Worker -1 on a shed decision.
+	Shed bool `json:"shed,omitempty"`
+	// RetryAfterMs is the deterministic backoff hint on a shed decision:
+	// one batch window, the soonest the queue can have drained.
+	RetryAfterMs int `json:"retry_after_ms,omitempty"`
 }
 
 // Stats is the body of GET /v1/stats.
@@ -81,7 +88,19 @@ type Stats struct {
 	MaxBatch       int     `json:"max_batch"`
 	LateAdmissions int     `json:"late_admissions"`
 	Pending        int     `json:"pending"`
-	DistQueries    uint64  `json:"dist_queries"`
+	// Submitted counts every request that entered the admission path
+	// (planned or shed); Shed counts those the overload policy turned
+	// away with 429 (DESIGN.md §15). QueueLimit is the *effective*
+	// pending cap (0 = unbounded) — MaxQueue unless ladder stage 3
+	// tightened it. DegradeState is the current ladder stage (0 =
+	// healthy … 3 = shedding) and DegradeTransitions counts every stage
+	// change in either direction.
+	Submitted          int    `json:"submitted"`
+	Shed               int    `json:"shed"`
+	QueueLimit         int    `json:"queue_limit"`
+	DegradeState       int    `json:"degrade_state"`
+	DegradeTransitions int    `json:"degrade_transitions"`
+	DistQueries        uint64 `json:"dist_queries"`
 	// TrafficEpoch is the current weight epoch (0 = base weights);
 	// TrafficUpdates counts applied POST /v1/traffic batches, and
 	// InfeasibleStops the promises broken by slowdowns (cumulative).
@@ -248,6 +267,15 @@ func (s *Server) handleRequest(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case d := <-done:
+		if d.Shed {
+			// Overload: the shed verdict is durable (it rode the batch's
+			// WAL commit group) but the request was never planned. The
+			// Retry-After header is the wire hint in whole seconds,
+			// rounded up; the body carries the exact milliseconds.
+			w.Header().Set("Retry-After", strconv.Itoa((d.RetryAfterMs+999)/1000))
+			writeJSON(w, http.StatusTooManyRequests, d)
+			return
+		}
 		writeJSON(w, http.StatusOK, d)
 	case <-r.Context().Done():
 		// The client went away; the request is already admitted and will
@@ -350,6 +378,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP urpsm_pending_requests Requests admitted but not yet decided.\n")
 	p("# TYPE urpsm_pending_requests gauge\n")
 	p("urpsm_pending_requests %d\n", st.Pending)
+	p("# HELP urpsm_submitted_total Requests that entered the admission path (planned or shed).\n")
+	p("# TYPE urpsm_submitted_total counter\n")
+	p("urpsm_submitted_total %d\n", st.Submitted)
+	p("# HELP urpsm_shed_total Requests turned away by the overload shed policy (HTTP 429).\n")
+	p("# TYPE urpsm_shed_total counter\n")
+	p("urpsm_shed_total %d\n", st.Shed)
+	p("# HELP urpsm_queue_limit Effective pending-queue cap (0 = unbounded).\n")
+	p("# TYPE urpsm_queue_limit gauge\n")
+	p("urpsm_queue_limit %d\n", st.QueueLimit)
+	p("# HELP urpsm_degrade_state Degradation ladder stage (0 = healthy, 3 = shedding).\n")
+	p("# TYPE urpsm_degrade_state gauge\n")
+	p("urpsm_degrade_state %d\n", st.DegradeState)
+	p("# HELP urpsm_degrade_transitions_total Degradation ladder stage changes, either direction.\n")
+	p("# TYPE urpsm_degrade_transitions_total counter\n")
+	p("urpsm_degrade_transitions_total %d\n", st.DegradeTransitions)
 	p("# HELP urpsm_batches_total Admission batches flushed.\n")
 	p("# TYPE urpsm_batches_total counter\n")
 	p("urpsm_batches_total %d\n", st.Batches)

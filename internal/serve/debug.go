@@ -37,8 +37,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 // Explain is the body of GET /v1/decisions/{id}/explain: why a request
 // was served or rejected, reconstructed from its retained plan event.
 type Explain struct {
-	ID       int32  `json:"id"`
-	Accepted bool   `json:"accepted"`
+	ID       int32 `json:"id"`
+	Accepted bool  `json:"accepted"`
 	// Reason is the outcome classification (core.RejectReason wire name):
 	// served, no_candidates, decision_lower_bound, no_feasible_insertion
 	// or post_check.

@@ -160,6 +160,11 @@ var statsSeries = map[string]string{
 	"MaxBatch":             "urpsm_batch_size_max",
 	"LateAdmissions":       "urpsm_late_admissions_total",
 	"Pending":              "urpsm_pending_requests",
+	"Submitted":            "urpsm_submitted_total",
+	"Shed":                 "urpsm_shed_total",
+	"QueueLimit":           "urpsm_queue_limit",
+	"DegradeState":         "urpsm_degrade_state",
+	"DegradeTransitions":   "urpsm_degrade_transitions_total",
 	"DistQueries":          "urpsm_dist_queries_total",
 	"TrafficEpoch":         "urpsm_traffic_epoch",
 	"TrafficUpdates":       "urpsm_traffic_updates_total",

@@ -80,6 +80,27 @@ type Config struct {
 	// BatchSize flushes a batch early once this many requests are
 	// pending; 0 means DefaultBatchSize.
 	BatchSize int
+	// MaxQueue caps the admission queue: a submission that would leave
+	// more than MaxQueue requests pending instead sheds the least
+	// valuable request in sight — the newcomer included — chosen by the
+	// Eq. 2 marginal-value order (deadline-infeasible first, then lowest
+	// rejection penalty p_r, then latest release, then highest ID). The
+	// victim's 429 verdict is delivered with its flush's commit group, so
+	// the WAL sync-before-ack invariant holds for sheds too. 0 means
+	// unbounded (the pre-overload-contract behavior). See DESIGN.md §15.
+	MaxQueue int
+	// DegradeTarget arms the graceful-degradation ladder: when the p95
+	// per-request plan time of a flushed batch exceeds this target for
+	// DegradeWindow consecutive batches the server degrades one stage —
+	// 1 shrinks the effective batch size, 2 additionally plans serially
+	// (bit-identical decisions, just no speculation), 3 additionally
+	// tightens the shed cap — and recovers one stage in reverse after
+	// DegradeWindow consecutive batches under half the target. 0
+	// disables the ladder. See DESIGN.md §15.3.
+	DegradeTarget time.Duration
+	// DegradeWindow is the consecutive-batch hysteresis window of the
+	// ladder; 0 means DefaultDegradeWindow.
+	DegradeWindow int
 	// Pool > 1 plans with the parallel dispatcher (bit-identical
 	// decisions, see internal/dispatch) using that many goroutines.
 	Pool int
@@ -145,6 +166,10 @@ const DefaultCheckpointBytes = 8 << 20
 // DefaultBatchSize is the default early-flush batch size.
 const DefaultBatchSize = 64
 
+// DefaultDegradeWindow is the default ladder hysteresis: stage changes
+// need this many consecutive breaching (or recovered) batches.
+const DefaultDegradeWindow = 4
+
 // pending is one enqueued request waiting for its batch.
 type pending struct {
 	req *core.Request
@@ -168,8 +193,14 @@ type Server struct {
 
 	fleet   *core.Fleet
 	planner core.Planner
-	world   *sim.World
-	queries shortest.QueryCounter
+	// serialPlanner is the non-speculative fallback the ladder's stage 2
+	// switches to; nil when the server already plans serially. Both
+	// planners drive the same fleet and produce bit-identical decisions
+	// (internal/dispatch's equivalence guarantee), so the switch is
+	// invisible to replay.
+	serialPlanner core.Planner
+	world         *sim.World
+	queries       shortest.QueryCounter
 	// versioned is the epoch-aware oracle front the whole query chain
 	// runs through; traffic coordinates epoch advances across it, the
 	// fleet and the world. Both are mutated only under smu.
@@ -187,6 +218,21 @@ type Server struct {
 	seq      int64
 	nextID   int32
 	draining bool
+	// shedQ holds overload victims awaiting their 429 verdict; they are
+	// drained with the next flush so the verdict is WAL-logged and synced
+	// before any client observes it. submitted counts every request that
+	// entered the admission pipeline (decided + shed + still pending).
+	shedQ     []*pending
+	submitted int
+
+	// Effective admission limits, read lock-free by the event loop and
+	// the submit path and rewritten (under smu) by the degradation
+	// ladder: effBatch is the early-flush batch size, effQueue the
+	// pending-queue cap (0 = unbounded), degradeStage the ladder stage
+	// 0–3.
+	effBatch     atomic.Int64
+	effQueue     atomic.Int64
+	degradeStage atomic.Int32
 
 	smu sync.Mutex
 	// trafficHistory records every applied update batch in order; it is
@@ -204,6 +250,16 @@ type Server struct {
 	maxBatch       int
 	lateAdmissions int
 	latency        *latencyRing
+	// Overload counters (smu): shed counts overload rejections — they
+	// are bumped at flush time, alongside their WAL records, so recovery
+	// reconstructs them exactly. The degrade* fields are the ladder's
+	// hysteresis state and lifetime transition count.
+	shed               int
+	degradeTransitions int
+	degradeBreach      int
+	degradeOK          int
+	planScratch        []float64
+	shedScratch        []Decision
 
 	// WAL state (all under smu; nil wal means logging is disabled). The
 	// decided window carries every decision since the last checkpoint plus
@@ -260,6 +316,12 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.CheckpointBytes == 0 {
 		cfg.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if cfg.MaxQueue < 0 {
+		return nil, fmt.Errorf("serve: negative MaxQueue %d", cfg.MaxQueue)
+	}
+	if cfg.DegradeWindow <= 0 {
+		cfg.DegradeWindow = DefaultDegradeWindow
 	}
 
 	// WAL recovery, phase 1: the checkpoint becomes the warm-start
@@ -323,9 +385,10 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	var planner core.Planner
+	var planner, serialPlanner core.Planner
 	if cfg.Pool > 1 {
 		planner = dispatch.NewParallelPruneGreedyDP(fleet, cfg.Alpha, cfg.Pool)
+		serialPlanner = core.NewPruneGreedyDP(fleet, cfg.Alpha)
 	} else {
 		planner = core.NewPruneGreedyDP(fleet, cfg.Alpha)
 	}
@@ -343,6 +406,7 @@ func NewServer(cfg Config) (*Server, error) {
 		maxSize:        cfg.BatchSize,
 		fleet:          fleet,
 		planner:        planner,
+		serialPlanner:  serialPlanner,
 		world:          world,
 		queries:        queries,
 		versioned:      versioned,
@@ -359,6 +423,8 @@ func NewServer(cfg Config) (*Server, error) {
 		doneC:          make(chan struct{}),
 		killC:          make(chan struct{}),
 	}
+	s.effBatch.Store(int64(cfg.BatchSize))
+	s.effQueue.Store(int64(cfg.MaxQueue))
 	if cfg.TraceEvents > 0 {
 		// Attach the recorder before WAL replay so crash recovery shows up
 		// in the timeline like any other traffic. Both planners implement
@@ -367,6 +433,9 @@ func NewServer(cfg Config) (*Server, error) {
 		s.rec = trace.New(cfg.TraceEvents)
 		s.rec.PlanSeconds = s.histPlan
 		if obs, ok := planner.(core.Observable); ok {
+			obs.SetObserver(s.rec)
+		}
+		if obs, ok := serialPlanner.(core.Observable); ok {
 			obs.SetObserver(s.rec)
 		}
 	}
@@ -379,6 +448,8 @@ func NewServer(cfg Config) (*Server, error) {
 		s.batches = cfg.Snapshot.Batches
 		s.maxBatch = cfg.Snapshot.MaxBatch
 		s.lateAdmissions = cfg.Snapshot.LateAdmissions
+		s.shed = cfg.Snapshot.Shed
+		s.submitted = cfg.Snapshot.Submitted
 		s.world.RestoreStats(cfg.Snapshot.Completions, cfg.Snapshot.LateArrivals)
 		s.traffic.RestoreStats(len(cfg.Snapshot.Traffic), cfg.Snapshot.InfeasibleStops)
 	}
@@ -439,22 +510,75 @@ func (s *Server) Planner() string { return s.planner.Name() }
 
 // submit enqueues a validated request and returns the channel its
 // decision will arrive on. defaultRelease marks a request whose release
-// was defaulted to "now" and is re-resolved at flush time.
+// was defaulted to "now" and is re-resolved at flush time. When the
+// queue is at its cap, the least valuable request in sight — the
+// newcomer included — is shed instead of enqueued: its channel still
+// gets a verdict (Shed=true, surfaced as HTTP 429), delivered with the
+// next flush after the shed is WAL-logged and synced.
 func (s *Server) submit(req *core.Request, defaultRelease bool) (<-chan Decision, error) {
+	now := s.eventTime()
 	s.qmu.Lock()
 	if s.draining {
 		s.qmu.Unlock()
 		return nil, errDraining
 	}
+	s.submitted++
 	p := &pending{req: req, seq: s.seq, defRel: defaultRelease, enq: time.Now(), done: make(chan Decision, 1)}
 	s.seq++
-	s.pending = append(s.pending, p)
+	var victim *pending
+	if limit := int(s.effQueue.Load()); limit > 0 && len(s.pending) >= limit {
+		victim = s.shedLockedQ(p, now)
+	} else {
+		s.pending = append(s.pending, p)
+	}
 	s.qmu.Unlock()
 	if s.rec != nil {
-		s.rec.Admit(s.eventTime(), int64(req.ID))
+		s.rec.Admit(now, int64(req.ID))
+		if victim != nil {
+			s.rec.Shed(now, int64(victim.req.ID), victim.req.Penalty)
+		}
 	}
 	s.kick()
 	return p.done, nil
+}
+
+// shedLockedQ admits p into a full queue by evicting the best shed
+// victim among the pending requests and p itself, and returns the
+// victim. The survivors keep their admission order. Caller holds qmu.
+func (s *Server) shedLockedQ(p *pending, now float64) *pending {
+	victim, vi := p, -1
+	for i, q := range s.pending {
+		if shedBefore(q, victim, now) {
+			victim, vi = q, i
+		}
+	}
+	if vi >= 0 {
+		s.pending = append(s.pending[:vi], s.pending[vi+1:]...)
+		s.pending = append(s.pending, p)
+	}
+	s.shedQ = append(s.shedQ, victim)
+	return victim
+}
+
+// shedBefore is the deterministic shed order — the inverse of the
+// priority-lane key (DESIGN.md §15.2): a request whose deadline the
+// event clock already made infeasible sheds first (serving it can only
+// burn fleet time), then the lowest Eq. 2 rejection penalty p_r (the
+// cheapest request to turn away), then the latest release, then the
+// highest ID. Every tie-breaker is a request attribute, never arrival
+// timing, so replays shed the same victims.
+func shedBefore(a, b *pending, now float64) bool {
+	ai, bi := a.req.Deadline <= now, b.req.Deadline <= now
+	if ai != bi {
+		return ai
+	}
+	if a.req.Penalty != b.req.Penalty {
+		return a.req.Penalty < b.req.Penalty
+	}
+	if a.req.Release != b.req.Release {
+		return a.req.Release > b.req.Release
+	}
+	return a.req.ID > b.req.ID
 }
 
 // reserveID resolves a request's ID: the client's when supplied — bumping
@@ -518,16 +642,27 @@ func (s *Server) run() {
 		for {
 			s.qmu.Lock()
 			n := len(s.pending)
+			nShed := len(s.shedQ)
 			var oldest time.Time
 			if n > 0 {
 				oldest = s.pending[0].enq
 			}
 			s.qmu.Unlock()
-			if n == 0 {
+			if n == 0 && nShed == 0 {
 				disarm()
 				break
 			}
-			if n >= s.maxSize || time.Since(oldest) >= s.window {
+			if n == 0 {
+				// Only shed verdicts are waiting (cannot normally happen — a
+				// shed implies a full queue — but a ladder transition can
+				// tighten the cap); deliver them without a batch.
+				s.flush()
+				continue
+			}
+			// The early-flush threshold is the ladder's *effective* batch
+			// size, which stage 1 shrinks; read lock-free because the ladder
+			// rewrites it under smu while this loop holds no lock.
+			if n >= int(s.effBatch.Load()) || time.Since(oldest) >= s.window {
 				s.flush()
 				continue
 			}
@@ -541,13 +676,20 @@ func (s *Server) run() {
 
 // flush takes the whole pending queue as one batch and plans it in
 // (release, admission-sequence) order — the order sim.Engine's stable
-// release sort would process the same requests in.
+// release sort would process the same requests in. Overload victims
+// parked on the shed queue ride along: their 429 verdicts open the
+// batch's WAL commit group (stamped with the pre-batch event clock, so
+// recovery can apply them verbatim) and are delivered only after the
+// group's fsync — the sync-before-ack invariant covers sheds exactly
+// like decisions.
 func (s *Server) flush() {
 	s.qmu.Lock()
 	batch := s.pending
 	s.pending = nil
+	sheds := s.shedQ
+	s.shedQ = nil
 	s.qmu.Unlock()
-	if len(batch) == 0 {
+	if len(batch) == 0 && len(sheds) == 0 {
 		return
 	}
 
@@ -568,15 +710,44 @@ func (s *Server) flush() {
 		}
 		return batch[i].seq < batch[j].seq
 	})
-	s.batches++
-	if len(batch) > s.maxBatch {
-		s.maxBatch = len(batch)
+	if len(batch) > 0 {
+		s.batches++
+		if len(batch) > s.maxBatch {
+			s.maxBatch = len(batch)
+		}
 	}
 	if s.wal != nil {
-		s.walScratch = wal.AppendBatch(s.walScratch[:0], len(batch))
+		s.walScratch = wal.AppendBatch(s.walScratch[:0], len(batch), len(sheds))
 		s.wal.Append(wal.TypeBatch, s.walScratch)
 		s.lastGroup = s.lastGroup[:0]
 	}
+	shedDs := s.shedScratch[:0]
+	for _, p := range sheds {
+		d := Decision{
+			ID:           int32(p.req.ID),
+			Worker:       -1,
+			SimTime:      s.simTime,
+			Batch:        s.batches,
+			Shed:         true,
+			RetryAfterMs: s.retryAfterMs(),
+		}
+		s.shed++
+		// Eq. 2 accounting: an unserved request costs its rejection
+		// penalty p_r whether the planner or the shed policy turned it
+		// away.
+		s.penaltySum += p.req.Penalty
+		if s.wal != nil {
+			s.walScratch = wal.AppendShed(s.walScratch[:0], wal.Shed{
+				ID: d.ID, Penalty: p.req.Penalty, SimTime: d.SimTime,
+			})
+			s.wal.Append(wal.TypeShed, s.walScratch)
+			s.decided[d.ID] = d
+			s.lastGroup = append(s.lastGroup, d.ID)
+		}
+		shedDs = append(shedDs, d)
+	}
+	ladderArmed := s.cfg.DegradeTarget > 0
+	planDurs := s.planScratch[:0]
 	ds := s.flushScratch[:0]
 	for _, p := range batch {
 		if s.wal != nil {
@@ -591,7 +762,14 @@ func (s *Server) flush() {
 			})
 			s.wal.Append(wal.TypeAdmission, s.walScratch)
 		}
+		var planStart time.Time
+		if ladderArmed {
+			planStart = time.Now()
+		}
 		d := s.decideLocked(p.req)
+		if ladderArmed {
+			planDurs = append(planDurs, time.Since(planStart).Seconds())
+		}
 		d.WaitMs = float64(time.Since(p.enq).Nanoseconds()) / 1e6
 		s.latency.observe(d.WaitMs)
 		if s.wal != nil {
@@ -616,8 +794,14 @@ func (s *Server) flush() {
 		syncDur := time.Since(syncStart)
 		s.histWALSync.Observe(syncDur.Seconds())
 		if s.rec != nil {
-			s.rec.WALSync(s.simTime, len(ds), syncDur)
+			s.rec.WALSync(s.simTime, len(ds)+len(shedDs), syncDur)
 		}
+	}
+	for i, p := range sheds {
+		d := shedDs[i]
+		d.WaitMs = float64(time.Since(p.enq).Nanoseconds()) / 1e6
+		p.done <- d
+		s.histAck.Observe(time.Since(p.enq).Seconds())
 	}
 	for i, p := range batch {
 		p.done <- ds[i]
@@ -628,11 +812,16 @@ func (s *Server) flush() {
 		}
 	}
 	s.flushScratch = ds[:0]
+	s.shedScratch = shedDs[:0]
 	flushDur := time.Since(flushStart)
 	s.histFlush.Observe(flushDur.Seconds())
 	if s.rec != nil {
 		s.rec.Flush(s.simTime, len(batch), flushDur)
 	}
+	if ladderArmed && len(planDurs) > 0 {
+		s.ladderLocked(sim.Percentile(planDurs, 0.95))
+	}
+	s.planScratch = planDurs[:0]
 	if s.log.Enabled(context.Background(), slog.LevelDebug) {
 		s.log.Debug("batch flushed",
 			"batch", s.batches, "n", len(batch), "sim_time", s.simTime,
@@ -665,7 +854,14 @@ func (s *Server) decideLocked(req *core.Request) Decision {
 	s.simTime = t
 	s.simTimeBits.Store(math.Float64bits(t))
 	s.world.AdvanceAll(t)
-	res := s.planner.OnRequest(t, req)
+	// Ladder stage 2 plans serially: same fleet, same algorithm, no
+	// speculation — internal/dispatch guarantees the decisions are
+	// bit-identical, so the switch never shows up in a replay.
+	pl := s.planner
+	if s.serialPlanner != nil && s.degradeStage.Load() >= 2 {
+		pl = s.serialPlanner
+	}
+	res := pl.OnRequest(t, req)
 	d := Decision{
 		ID:      int32(req.ID),
 		Worker:  -1,
@@ -684,6 +880,85 @@ func (s *Server) decideLocked(req *core.Request) Decision {
 		s.penaltySum += req.Penalty
 	}
 	return d
+}
+
+// retryAfterMs is the backoff hint attached to shed verdicts: one batch
+// window — the soonest the queue can have drained a batch. A pure
+// function of configuration, so recovery reconstructs the same hint.
+func (s *Server) retryAfterMs() int {
+	ms := int(s.window / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
+}
+
+// ladderLocked advances the graceful-degradation state machine after a
+// flush (DESIGN.md §15.3). p95 is the batch's 95th-percentile
+// per-request plan time in seconds; breaching the target for
+// DegradeWindow consecutive batches degrades one stage, staying under
+// half the target for as many batches recovers one. The half-target
+// recovery band is deliberate hysteresis — a p95 hovering at the target
+// would otherwise flap the ladder every window. Caller holds smu.
+func (s *Server) ladderLocked(p95 float64) {
+	target := s.cfg.DegradeTarget.Seconds()
+	stage := int(s.degradeStage.Load())
+	switch {
+	case p95 > target:
+		s.degradeBreach++
+		s.degradeOK = 0
+		if s.degradeBreach >= s.cfg.DegradeWindow && stage < 3 {
+			s.setStageLocked(stage+1, "degrade")
+			s.degradeBreach = 0
+		}
+	case p95 <= target/2:
+		s.degradeOK++
+		s.degradeBreach = 0
+		if s.degradeOK >= s.cfg.DegradeWindow && stage > 0 {
+			s.setStageLocked(stage-1, "recover")
+			s.degradeOK = 0
+		}
+	default:
+		s.degradeBreach = 0
+		s.degradeOK = 0
+	}
+}
+
+// setStageLocked moves the ladder to stage and rewrites the effective
+// admission limits the event loop and submit path read lock-free:
+// stage ≥ 1 quarters the early-flush batch size (smaller batches, more
+// frequent event-clock catch-up), stage ≥ 2 switches decideLocked to
+// the serial planner, stage 3 tightens the shed cap — halving
+// MaxQueue, or imposing twice the effective batch size when admission
+// was unbounded. Caller holds smu.
+func (s *Server) setStageLocked(stage int, dir string) {
+	s.degradeStage.Store(int32(stage))
+	s.degradeTransitions++
+	eb := s.cfg.BatchSize
+	if stage >= 1 {
+		if eb /= 4; eb < 1 {
+			eb = 1
+		}
+	}
+	s.effBatch.Store(int64(eb))
+	limit := s.cfg.MaxQueue
+	if stage >= 3 {
+		if limit > 0 {
+			if limit /= 2; limit < 1 {
+				limit = 1
+			}
+		} else {
+			limit = 2 * eb
+		}
+	}
+	s.effQueue.Store(int64(limit))
+	if s.rec != nil {
+		s.rec.Degrade(s.simTime, stage, dir)
+	}
+	s.log.Warn("degradation ladder transition",
+		"dir", dir, "stage", stage, "eff_batch", eb, "eff_queue", limit)
+	// A shrunken batch size may make the pending queue immediately due.
+	s.kick()
 }
 
 // stopETAs finds the planned arrival times at the request's pickup and
@@ -810,27 +1085,33 @@ func (s *Server) Abort() {
 func (s *Server) Stats() Stats {
 	s.qmu.Lock()
 	pendingN := len(s.pending)
+	submitted := s.submitted
 	s.qmu.Unlock()
 	s.smu.Lock()
 	defer s.smu.Unlock()
 	total := s.accepted + s.rejected
 	st := Stats{
-		Algorithm:      s.planner.Name(),
-		Oracle:         s.cfg.OracleKind,
-		Workers:        len(s.fleet.Workers),
-		SimTime:        s.simTime,
-		Requests:       total,
-		Accepted:       s.accepted,
-		Rejected:       s.rejected,
-		ServedRate:     core.ServedRate(s.accepted, total),
-		TotalDistance:  s.fleet.TotalDistance(),
-		PenaltySum:     s.penaltySum,
-		Completions:    s.world.Completions(),
-		LateArrivals:   s.world.LateArrivals(),
-		Batches:        s.batches,
-		MaxBatch:       s.maxBatch,
-		LateAdmissions: s.lateAdmissions,
-		Pending:        pendingN,
+		Algorithm:          s.planner.Name(),
+		Oracle:             s.cfg.OracleKind,
+		Workers:            len(s.fleet.Workers),
+		SimTime:            s.simTime,
+		Requests:           total,
+		Accepted:           s.accepted,
+		Rejected:           s.rejected,
+		ServedRate:         core.ServedRate(s.accepted, total),
+		TotalDistance:      s.fleet.TotalDistance(),
+		PenaltySum:         s.penaltySum,
+		Completions:        s.world.Completions(),
+		LateArrivals:       s.world.LateArrivals(),
+		Batches:            s.batches,
+		MaxBatch:           s.maxBatch,
+		LateAdmissions:     s.lateAdmissions,
+		Pending:            pendingN,
+		Submitted:          submitted,
+		Shed:               s.shed,
+		QueueLimit:         int(s.effQueue.Load()),
+		DegradeState:       int(s.degradeStage.Load()),
+		DegradeTransitions: s.degradeTransitions,
 	}
 	st.UnifiedCost = s.alpha*st.TotalDistance + st.PenaltySum
 	st.TrafficEpoch = s.traffic.Epoch()
@@ -886,6 +1167,7 @@ func (s *Server) TakeSnapshot() *Snapshot {
 func (s *Server) snapshotLocked() *Snapshot {
 	s.qmu.Lock()
 	nextID := s.nextID
+	submitted := s.submitted
 	s.qmu.Unlock()
 	sn := &Snapshot{
 		Format:          SnapshotFormat,
@@ -899,6 +1181,8 @@ func (s *Server) snapshotLocked() *Snapshot {
 		Batches:         s.batches,
 		MaxBatch:        s.maxBatch,
 		LateAdmissions:  s.lateAdmissions,
+		Shed:            s.shed,
+		Submitted:       submitted,
 		Completions:     s.world.Completions(),
 		LateArrivals:    s.world.LateArrivals(),
 		InfeasibleStops: s.traffic.RepairStats().InfeasibleStops,

@@ -49,6 +49,8 @@ type Snapshot struct {
 	Batches         int                       `json:"batches"`
 	MaxBatch        int                       `json:"max_batch"`
 	LateAdmissions  int                       `json:"late_admissions"`
+	Shed            int                       `json:"shed,omitempty"`
+	Submitted       int                       `json:"submitted,omitempty"`
 	Completions     int                       `json:"completions"`
 	LateArrivals    int                       `json:"late_arrivals"`
 	InfeasibleStops int                       `json:"infeasible_stops"`
@@ -132,7 +134,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	}
 	if sn.Accepted < 0 || sn.Rejected < 0 || sn.Batches < 0 || sn.MaxBatch < 0 ||
 		sn.LateAdmissions < 0 || sn.Completions < 0 || sn.LateArrivals < 0 ||
-		sn.InfeasibleStops < 0 || sn.NextID < 0 {
+		sn.InfeasibleStops < 0 || sn.NextID < 0 || sn.Shed < 0 || sn.Submitted < 0 {
 		return nil, fmt.Errorf("serve: negative snapshot counter")
 	}
 	if math.IsNaN(sn.PenaltySum) || math.IsInf(sn.PenaltySum, 0) || sn.PenaltySum < 0 {

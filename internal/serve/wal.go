@@ -5,14 +5,19 @@ package serve
 // truncate the log. The framing and record codecs live in internal/wal;
 // this file owns the recovery semantics (DESIGN.md §13):
 //
-//   - The commit group (TypeBatch + its admission/decision pairs) is the
-//     atomic unit. Decisions are only acknowledged after the group's
-//     fsync, so an incomplete trailing group is discarded whole — none of
-//     its decisions can have been observed.
+//   - The commit group (TypeBatch + its shed records + its
+//     admission/decision pairs) is the atomic unit. Decisions and shed
+//     verdicts are only acknowledged after the group's fsync, so an
+//     incomplete trailing group is discarded whole — none of its
+//     decisions can have been observed.
 //   - Replay runs admissions through the same decideLocked path as live
 //     traffic; the logged decisions are not applied but *checked*, so a
 //     divergence (corrupt log, changed config, different graph) surfaces
 //     as a hard, diagnosable error instead of silent state drift.
+//   - Shed records are the exception: a shed verdict depends on queue
+//     *timing* (how full the admission queue was), which the log does not
+//     reconstruct, so sheds are applied verbatim — with the one
+//     re-checkable invariant (the stamped event clock) still bit-checked.
 //   - A checkpoint is a serve snapshot carrying wal_lsn; recovery skips
 //     records at or below it, which makes a crash between the checkpoint
 //     rename and the segment rotation harmless.
@@ -105,21 +110,24 @@ func (s *Server) replayWAL(recs []wal.Record, afterLSN uint64) error {
 			s.walRecovered++
 			i++
 		case wal.TypeBatch:
-			n, err := wal.DecodeBatch(r.Body)
+			pairs, sheds, err := wal.DecodeBatch(r.Body)
 			if err != nil {
 				return fmt.Errorf("lsn %d: %w", r.LSN, err)
 			}
-			if i+1+2*n > len(recs) {
-				// Incomplete trailing commit group: none of its decisions can
-				// have been acknowledged (the ack happens only after the
-				// group's fsync), so the whole group is discarded.
+			size := 1 + sheds + 2*pairs
+			if i+size > len(recs) {
+				// Incomplete trailing commit group: none of its decisions or
+				// shed verdicts can have been acknowledged (the ack happens
+				// only after the group's fsync), so the whole group is
+				// discarded.
 				return nil
 			}
-			if err := s.replayGroup(recs[i+1 : i+1+2*n]); err != nil {
+			if err := s.replayGroup(recs[i+1:i+size], sheds); err != nil {
 				return err
 			}
-			s.walRecovered += 1 + 2*n
-			i += 1 + 2*n
+			s.submitted += pairs + sheds
+			s.walRecovered += size
+			i += size
 		default:
 			return fmt.Errorf("lsn %d: record type %d outside a commit group", r.LSN, r.Type)
 		}
@@ -127,14 +135,53 @@ func (s *Server) replayWAL(recs []wal.Record, afterLSN uint64) error {
 	return nil
 }
 
-// replayGroup re-decides one commit group's admissions and checks each
-// outcome bit-exactly against the logged decision.
-func (s *Server) replayGroup(pairs []wal.Record) error {
-	s.batches++
-	if len(pairs)/2 > s.maxBatch {
-		s.maxBatch = len(pairs) / 2
+// replayGroup replays one commit group: the leading sheds shed records
+// are applied verbatim (queue timing is not reconstructible from the
+// log), then the admissions are re-decided and checked bit-exactly
+// against the logged decisions.
+func (s *Server) replayGroup(group []wal.Record, sheds int) error {
+	pairs := group[sheds:]
+	if len(pairs) > 0 {
+		s.batches++
+		if len(pairs)/2 > s.maxBatch {
+			s.maxBatch = len(pairs) / 2
+		}
 	}
 	s.lastGroup = s.lastGroup[:0]
+	for k := 0; k < sheds; k++ {
+		r := group[k]
+		if r.Type != wal.TypeShed {
+			return fmt.Errorf("lsn %d: commit group declares %d shed records, got record type %d",
+				r.LSN, sheds, r.Type)
+		}
+		sh, err := wal.DecodeShed(r.Body)
+		if err != nil {
+			return fmt.Errorf("lsn %d: %w", r.LSN, err)
+		}
+		if math.Float64bits(sh.SimTime) != math.Float64bits(s.simTime) {
+			return fmt.Errorf("lsn %d: shed record stamped at event time %x but the replay clock is %x — "+
+				"log corrupt or server configuration changed",
+				r.LSN, math.Float64bits(sh.SimTime), math.Float64bits(s.simTime))
+		}
+		if math.IsNaN(sh.Penalty) || math.IsInf(sh.Penalty, 0) || sh.Penalty < 0 {
+			return fmt.Errorf("lsn %d: bad shed penalty %v", r.LSN, sh.Penalty)
+		}
+		if sh.ID >= s.nextID && sh.ID < math.MaxInt32 {
+			s.nextID = sh.ID + 1
+		}
+		s.shed++
+		s.penaltySum += sh.Penalty
+		d := Decision{
+			ID:           sh.ID,
+			Worker:       -1,
+			SimTime:      sh.SimTime,
+			Batch:        s.batches,
+			Shed:         true,
+			RetryAfterMs: s.retryAfterMs(),
+		}
+		s.decided[d.ID] = d
+		s.lastGroup = append(s.lastGroup, d.ID)
+	}
 	for k := 0; k+1 < len(pairs); k += 2 {
 		ar, dr := pairs[k], pairs[k+1]
 		if ar.Type != wal.TypeAdmission || dr.Type != wal.TypeDecision {

@@ -243,22 +243,30 @@ func expectedTail(t *testing.T, data []byte) (ids []int32, traffics, applied int
 			applied++
 			i++
 		case wal.TypeBatch:
-			n, err := wal.DecodeBatch(recs[i].Body)
+			n, sheds, err := wal.DecodeBatch(recs[i].Body)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if i+1+2*n > len(recs) {
+			size := 1 + sheds + 2*n
+			if i+size > len(recs) {
 				return ids, traffics, applied
 			}
+			for k := 0; k < sheds; k++ {
+				sh, err := wal.DecodeShed(recs[i+1+k].Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, sh.ID)
+			}
 			for k := 0; k < n; k++ {
-				d, err := wal.DecodeDecision(recs[i+2+2*k].Body)
+				d, err := wal.DecodeDecision(recs[i+sheds+2+2*k].Body)
 				if err != nil {
 					t.Fatal(err)
 				}
 				ids = append(ids, d.ID)
 			}
-			applied += 1 + 2*n
-			i += 1 + 2*n
+			applied += size
+			i += size
 		default:
 			t.Fatalf("unexpected record type %d", recs[i].Type)
 		}

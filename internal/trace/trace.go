@@ -66,6 +66,12 @@ const (
 	// after an epoch advance (Epoch, N = lifetime rebuilds, DurNs = the
 	// rebuild's duration).
 	KindOracle
+	// KindShed — the overload policy evicted a request from the
+	// admission queue (Penalty = the Eq. 2 p_r the platform pays).
+	KindShed
+	// KindDegrade — the degradation ladder changed stage (N = the new
+	// stage 0–3, Reason = "degrade" or "recover").
+	KindDegrade
 )
 
 var kindNames = [...]string{
@@ -77,6 +83,8 @@ var kindNames = [...]string{
 	KindAck:          "ack",
 	KindTrafficEpoch: "traffic_epoch",
 	KindOracle:       "oracle",
+	KindShed:         "shed",
+	KindDegrade:      "degrade",
 }
 
 // String returns the stable wire name (FORMATS.md §9).
@@ -353,4 +361,17 @@ func (r *Recorder) TrafficEpoch(now float64, epoch uint64, changed int) {
 // is the lifetime count and dur the rebuild's duration.
 func (r *Recorder) Oracle(now float64, epoch uint64, rebuilds uint64, dur time.Duration) {
 	r.Record(Event{Kind: KindOracle, Now: now, Req: -1, Worker: -1, Epoch: epoch, N: int64(rebuilds), DurNs: dur.Nanoseconds()})
+}
+
+// Shed records a request evicted from the admission queue by the
+// overload policy; penalty is the Eq. 2 rejection penalty p_r the
+// platform pays for it.
+func (r *Recorder) Shed(now float64, req int64, penalty float64) {
+	r.Record(Event{Kind: KindShed, Now: now, Req: req, Worker: -1, Penalty: penalty, Reason: "shed"})
+}
+
+// Degrade records a degradation-ladder transition to stage (0–3); dir is
+// "degrade" or "recover".
+func (r *Recorder) Degrade(now float64, stage int, dir string) {
+	r.Record(Event{Kind: KindDegrade, Now: now, Req: -1, Worker: -1, N: int64(stage), Reason: dir})
 }

@@ -15,7 +15,7 @@ func FuzzReadWAL(f *testing.F) {
 	f.Add(AppendHeader(nil, 0))
 	f.Add(AppendRecord(AppendHeader(nil, 0), 0, TypeCheckpoint, nil))
 	full := AppendHeader(nil, 7)
-	full = AppendRecord(full, 7, TypeBatch, AppendBatch(nil, 1))
+	full = AppendRecord(full, 7, TypeBatch, AppendBatch(nil, 1, 0))
 	full = AppendRecord(full, 8, TypeAdmission, AppendAdmission(nil, Admission{ID: 1, Origin: 2, Dest: 3, Release: 4, Deadline: 500, Penalty: 6, Capacity: 1}))
 	full = AppendRecord(full, 9, TypeDecision, AppendDecision(nil, Decision{ID: 1, Accepted: true, Worker: 0, Delta: 1.5, SimTime: 4}))
 	tb, _ := AppendTraffic(nil, Traffic{At: 10, Epoch: 1, Updates: nil})
@@ -51,7 +51,9 @@ func FuzzReadWAL(f *testing.F) {
 		for _, r := range recs {
 			switch r.Type {
 			case TypeBatch:
-				_, _ = DecodeBatch(r.Body)
+				_, _, _ = DecodeBatch(r.Body)
+			case TypeShed:
+				_, _ = DecodeShed(r.Body)
 			case TypeAdmission:
 				_, _ = DecodeAdmission(r.Body)
 			case TypeDecision:

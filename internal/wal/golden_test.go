@@ -33,7 +33,7 @@ func goldenRecords(t *testing.T) []Record {
 		t.Fatal(err)
 	}
 	return []Record{
-		{LSN: 3, Type: TypeBatch, Body: AppendBatch(nil, 2)},
+		{LSN: 3, Type: TypeBatch, Body: AppendBatch(nil, 2, 0)},
 		{LSN: 4, Type: TypeAdmission, Body: AppendAdmission(nil, Admission{
 			ID: 7, Origin: 42, Dest: 9, Release: 120.5, Deadline: 700, Penalty: 320.25, Capacity: 2})},
 		{LSN: 5, Type: TypeDecision, Body: AppendDecision(nil, Decision{
@@ -43,7 +43,16 @@ func goldenRecords(t *testing.T) []Record {
 		{LSN: 7, Type: TypeDecision, Body: AppendDecision(nil, Decision{
 			ID: 8, Accepted: false, Worker: -1, Delta: 0, SimTime: 120.5})},
 		{LSN: 8, Type: TypeTraffic, Body: tr},
-		{LSN: 9, Type: TypeCheckpoint, Body: nil},
+		// An overloaded commit group: one shed (applied on recovery) ahead
+		// of one admission/decision pair, under the 8-byte batch header.
+		{LSN: 9, Type: TypeBatch, Body: AppendBatch(nil, 1, 1)},
+		{LSN: 10, Type: TypeShed, Body: AppendShed(nil, Shed{
+			ID: 9, Penalty: 41.5, SimTime: 120.5})},
+		{LSN: 11, Type: TypeAdmission, Body: AppendAdmission(nil, Admission{
+			ID: 10, Origin: 42, Dest: 9, Release: 121, Deadline: 800, Penalty: 200, Capacity: 1})},
+		{LSN: 12, Type: TypeDecision, Body: AppendDecision(nil, Decision{
+			ID: 10, Accepted: true, Worker: 1, Delta: 96.5, SimTime: 121})},
+		{LSN: 13, Type: TypeCheckpoint, Body: nil},
 	}
 }
 
@@ -71,7 +80,7 @@ func TestGoldenSegment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if start != 3 || clean != len(got) || len(recs) != 7 {
+	if start != 3 || clean != len(got) || len(recs) != 11 {
 		t.Fatalf("golden decode: start=%d clean=%d recs=%d", start, clean, len(recs))
 	}
 	if d, err := DecodeDecision(recs[2].Body); err != nil || d.Delta != 182.125 {
@@ -79,5 +88,11 @@ func TestGoldenSegment(t *testing.T) {
 	}
 	if tr, err := DecodeTraffic(recs[5].Body); err != nil || tr.Epoch != 1 || len(tr.Updates) != 2 {
 		t.Fatalf("golden traffic: %+v err=%v", tr, err)
+	}
+	if p, sh, err := DecodeBatch(recs[6].Body); err != nil || p != 1 || sh != 1 {
+		t.Fatalf("golden overload batch: pairs=%d sheds=%d err=%v", p, sh, err)
+	}
+	if sh, err := DecodeShed(recs[7].Body); err != nil || sh.ID != 9 || sh.Penalty != 41.5 {
+		t.Fatalf("golden shed: %+v err=%v", sh, err)
 	}
 }

@@ -60,6 +60,13 @@ const (
 	// TypeCheckpoint marks that a durable snapshot checkpoint covers
 	// every record up to and including this one; it closes a segment.
 	TypeCheckpoint byte = 5
+	// TypeShed is one request rejected by the overload shed policy
+	// before planning (HTTP 429). Shed records belong to the commit group
+	// opened by the preceding TypeBatch and are *applied* on recovery,
+	// not re-derived: the queue occupancy that forced the shed is timing
+	// state the log deliberately does not capture, so the log is the only
+	// authority on which requests were shed.
+	TypeShed byte = 6
 )
 
 const (
@@ -438,19 +445,69 @@ func DecodeDecision(body []byte) (Decision, error) {
 	}, nil
 }
 
-// AppendBatch appends a TypeBatch body: the commit group's pair count.
-func AppendBatch(dst []byte, count int) []byte {
-	return binary.LittleEndian.AppendUint32(dst, uint32(count))
+// AppendBatch appends a TypeBatch body: the commit group's
+// admission/decision pair count, plus its shed count. A group without
+// sheds keeps the original 4-byte encoding, so segments written before
+// shedding existed and segments written by a server that never sheds are
+// byte-identical to the v1 format; a group with sheds appends a second
+// uint32.
+func AppendBatch(dst []byte, pairs, sheds int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(pairs))
+	if sheds > 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(sheds))
+	}
+	return dst
 }
 
-// DecodeBatch parses a batch body.
-func DecodeBatch(body []byte) (count int, err error) {
-	if len(body) != 4 {
-		return 0, fmt.Errorf("wal: batch body is %d bytes (want 4)", len(body))
+// DecodeBatch parses a batch body, accepting both the 4-byte pair-only
+// form and the 8-byte pairs+sheds form.
+func DecodeBatch(body []byte) (pairs, sheds int, err error) {
+	switch len(body) {
+	case 4:
+	case 8:
+		n := binary.LittleEndian.Uint32(body[4:])
+		if n == 0 || n > 1<<24 {
+			return 0, 0, fmt.Errorf("wal: batch shed count %d out of range", n)
+		}
+		sheds = int(n)
+	default:
+		return 0, 0, fmt.Errorf("wal: batch body is %d bytes (want 4 or 8)", len(body))
 	}
 	n := binary.LittleEndian.Uint32(body)
-	if n == 0 || n > 1<<24 {
-		return 0, fmt.Errorf("wal: batch count %d out of range", n)
+	if n > 1<<24 || (n == 0 && sheds == 0) {
+		return 0, 0, fmt.Errorf("wal: batch pair count %d out of range", n)
 	}
-	return int(n), nil
+	return int(n), sheds, nil
+}
+
+// Shed is the TypeShed body: one request rejected by the overload
+// policy. The fixed 20-byte layout is id, penalty, simtime (float bits,
+// so the Eq. 2 penalty the platform paid and the event-clock stamp are
+// bit-exact across recovery).
+type Shed struct {
+	ID      int32
+	Penalty float64
+	SimTime float64
+}
+
+const shedLen = 4 + 8 + 8
+
+// AppendShed appends a shed body to dst.
+func AppendShed(dst []byte, sh Shed) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(sh.ID))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(sh.Penalty))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(sh.SimTime))
+	return dst
+}
+
+// DecodeShed parses a shed body.
+func DecodeShed(body []byte) (Shed, error) {
+	if len(body) != shedLen {
+		return Shed{}, fmt.Errorf("wal: shed body is %d bytes (want %d)", len(body), shedLen)
+	}
+	return Shed{
+		ID:      int32(binary.LittleEndian.Uint32(body[0:])),
+		Penalty: math.Float64frombits(binary.LittleEndian.Uint64(body[4:])),
+		SimTime: math.Float64frombits(binary.LittleEndian.Uint64(body[12:])),
+	}, nil
 }

@@ -29,7 +29,7 @@ func sampleRecords(t *testing.T) []Record {
 		t.Fatal(err)
 	}
 	return []Record{
-		{LSN: 5, Type: TypeBatch, Body: AppendBatch(nil, 1)},
+		{LSN: 5, Type: TypeBatch, Body: AppendBatch(nil, 1, 0)},
 		{LSN: 6, Type: TypeAdmission, Body: adm},
 		{LSN: 7, Type: TypeDecision, Body: dec},
 		{LSN: 8, Type: TypeTraffic, Body: tr},
@@ -171,7 +171,7 @@ func TestLogAppendSyncRotate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if lsn := l.Append(TypeBatch, AppendBatch(nil, 1)); lsn != 10 {
+	if lsn := l.Append(TypeBatch, AppendBatch(nil, 1, 0)); lsn != 10 {
 		t.Fatalf("first LSN %d, want 10", lsn)
 	}
 	l.Append(TypeAdmission, AppendAdmission(nil, Admission{ID: 1, Capacity: 1}))
@@ -293,11 +293,29 @@ func TestBodyCodecs(t *testing.T) {
 		t.Fatal("empty traffic batch accepted")
 	}
 
-	if c, err := DecodeBatch(AppendBatch(nil, 17)); err != nil || c != 17 {
-		t.Fatalf("batch round trip: %d err=%v", c, err)
+	if c, sh, err := DecodeBatch(AppendBatch(nil, 17, 0)); err != nil || c != 17 || sh != 0 {
+		t.Fatalf("batch round trip: pairs=%d sheds=%d err=%v", c, sh, err)
 	}
-	if _, err := DecodeBatch(AppendBatch(nil, 0)); err == nil {
+	if b := AppendBatch(nil, 17, 0); len(b) != 4 {
+		t.Fatalf("shed-free batch body is %d bytes, want the legacy 4", len(b))
+	}
+	if c, sh, err := DecodeBatch(AppendBatch(nil, 5, 3)); err != nil || c != 5 || sh != 3 {
+		t.Fatalf("batch+shed round trip: pairs=%d sheds=%d err=%v", c, sh, err)
+	}
+	if c, sh, err := DecodeBatch(AppendBatch(nil, 0, 2)); err != nil || c != 0 || sh != 2 {
+		t.Fatalf("shed-only batch round trip: pairs=%d sheds=%d err=%v", c, sh, err)
+	}
+	if _, _, err := DecodeBatch(AppendBatch(nil, 0, 0)); err == nil {
 		t.Fatal("zero batch count accepted")
+	}
+
+	sh := Shed{ID: 9, Penalty: 41.5, SimTime: 120.25}
+	rsh, err := DecodeShed(AppendShed(nil, sh))
+	if err != nil || rsh != sh {
+		t.Fatalf("shed round trip: %+v err=%v", rsh, err)
+	}
+	if _, err := DecodeShed([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short shed accepted")
 	}
 }
 

@@ -2,7 +2,7 @@
 # bench-json.sh — run the headline benchmarks and append one labeled run
 # to a JSON benchmark-trajectory artifact (see cmd/benchjson).
 #
-#   scripts/bench-json.sh                         # 100x run -> BENCH_PR8.json, label = short commit
+#   scripts/bench-json.sh                         # 100x run -> BENCH_PR9.json, label = short commit
 #   scripts/bench-json.sh -t 1x -o /tmp/b.json    # CI smoke: one iteration per benchmark
 #   scripts/bench-json.sh -l post-PR4             # explicit label
 #   scripts/bench-json.sh -b 'BenchmarkPruningAblation'  # subset
@@ -13,25 +13,34 @@
 # ablation, the decision-phase lower bound, the epoch-aware oracle
 # front under traffic (query latency per tier plus the epoch-advance cost
 # of a full CH rebuild versus a CCH customization), the WAL group
-# commit (fsync amortization across admission-batch sizes), and the
+# commit (fsync amortization across admission-batch sizes), the
 # flight-recorder observability tax (plan path with observer on vs off —
-# must stay within noise at 0 allocs/op).
+# must stay within noise at 0 allocs/op), and the open-loop saturation
+# sweep (goodput/shed-rate/p99 at offered loads straddling the service's
+# throughput knee, under a bounded admission queue — DESIGN.md §15).
 # -benchmem is always on so allocs/op regressions are recorded in the
 # artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound|BenchmarkDistUnderRebuild|BenchmarkWALCommit|BenchmarkPlanWithObserver'
+BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound|BenchmarkDistUnderRebuild|BenchmarkWALCommit|BenchmarkPlanWithObserver|BenchmarkSaturation'
 BENCHTIME=100x
-OUT=BENCH_PR8.json
+OUT=BENCH_PR9.json
 LABEL=""
+# Repetitions are recorded verbatim in the artifact; the bench gate takes
+# the per-benchmark minimum, so a -c 3 baseline is judged by the same
+# min-of-N discipline as the candidate run it will later gate. Sweeps,
+# not `go test -count`: count repeats a benchmark back-to-back inside
+# the same noise burst; sweeps space repetitions a full suite apart.
+COUNT=3
 
-while getopts "b:t:o:l:h" opt; do
+while getopts "b:t:o:l:c:h" opt; do
   case $opt in
     b) BENCH=$OPTARG ;;
     t) BENCHTIME=$OPTARG ;;
     o) OUT=$OPTARG ;;
     l) LABEL=$OPTARG ;;
+    c) COUNT=$OPTARG ;;
     h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
     *) exit 2 ;;
   esac
@@ -44,8 +53,10 @@ fi
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "bench-json: running '$BENCH' at -benchtime $BENCHTIME ..." >&2
-go test -run xxx -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+echo "bench-json: running '$BENCH' at -benchtime $BENCHTIME, $COUNT sweep(s) ..." >&2
+for _ in $(seq "$COUNT"); do
+  go test -run xxx -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW" >&2
+done
 
 go run ./cmd/benchjson -label "$LABEL" -benchtime "$BENCHTIME" -out "$OUT" < "$RAW"
 echo "bench-json: appended run '$LABEL' to $OUT" >&2

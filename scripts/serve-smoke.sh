@@ -51,8 +51,18 @@ echo "== scrape /metrics =="
 if command -v curl > /dev/null; then
     curl -sf "http://$ADDR/metrics" | grep -E '^urpsm_(requests_total|batches_total)' || {
         echo "metrics scrape failed" >&2; exit 1; }
-    curl -sf "http://$ADDR/metrics" | grep -q '^urpsm_plan_seconds_count [1-9]' || {
+    # Scrape once into a file: grep -q exits at the first match, and
+    # under pipefail the writer's SIGPIPE would read as a curl failure.
+    curl -sf "http://$ADDR/metrics" > "$WORK/metrics.txt"
+    grep -q '^urpsm_plan_seconds_count [1-9]' "$WORK/metrics.txt" || {
         echo "plan-latency histogram empty (tracing not wired?)" >&2; exit 1; }
+    # The lockstep replay never overloads the (unbounded, -max-queue
+    # unset) admission queue: any shed here would mean admission control
+    # fired outside the overload contract (DESIGN.md §15).
+    grep -q '^urpsm_shed_total 0$' "$WORK/metrics.txt" || {
+        echo "urpsm_shed_total nonzero (or missing) after a non-overload lockstep run" >&2; exit 1; }
+    grep -q '^urpsm_degrade_state 0$' "$WORK/metrics.txt" || {
+        echo "urpsm_degrade_state nonzero (or missing): ladder moved while disarmed" >&2; exit 1; }
 
     echo "== scrape /debug/trace and one explain =="
     # The trace body is multi-MB; grep a file rather than piping a shell
