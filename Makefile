@@ -24,10 +24,10 @@ bench-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
-# Headline benchmarks -> JSON trajectory artifact (BENCH_PR9.json).
+# Headline benchmarks -> JSON trajectory artifact (BENCH_PR10.json).
 # Override: make bench-json BENCHTIME=1x BENCHOUT=/tmp/bench.json
 BENCHTIME ?= 100x
-BENCHOUT ?= BENCH_PR9.json
+BENCHOUT ?= BENCH_PR10.json
 bench-json:
 	./scripts/bench-json.sh -t $(BENCHTIME) -o $(BENCHOUT)
 

@@ -1,0 +1,128 @@
+package dispatch_test
+
+// Shared-table equivalence: serve's flush builds ONE DistTable per
+// admission batch and lets every planner shard read it concurrently.
+// This suite checks the dispatch half of that contract — a
+// ParallelGreedy whose fleet DistFunc is a batch-prefetched DistTable
+// must be bit-identical to a serial Greedy running pure point queries,
+// across pool sizes, with routes mutating between batches.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dispatch"
+	"repro/internal/roadnet"
+	"repro/internal/shortest"
+	"repro/internal/workload"
+)
+
+// buildTableScenario materializes two identical fleets over one graph
+// and a bitwise-symmetric hub oracle: fleet A plans with point queries,
+// fleet B gets a batch-prefetched table swapped in front of the same
+// point chain.
+func buildTableScenario(t *testing.T, i int) (fleetA, fleetB *core.Fleet, reqs []*core.Request, hub *shortest.HubLabels) {
+	t.Helper()
+	s := makeScenario(i)
+	g, err := roadnet.Generate(s.params.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub = shortest.BuildHubLabels(g)
+	inst, err := workload.BuildOn(s.params, g, hub.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetA, err = core.NewFleet(g, hub.Dist, inst.Workers, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BuildOn is deterministic: a second build yields an identical fleet.
+	instB, err := workload.BuildOn(s.params, g, hub.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleetB, err = core.NewFleet(g, hub.Dist, instB.Workers, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleetA, fleetB, inst.Requests, hub
+}
+
+func TestParallelGreedySharedTableEquivalence(t *testing.T) {
+	pools := []int{2, 4, 8}
+	if testing.Short() {
+		pools = []int{4}
+	}
+	for pi, pool := range pools {
+		pool := pool
+		t.Run(fmt.Sprintf("pool%d", pool), func(t *testing.T) {
+			t.Parallel()
+			fleetA, fleetB, reqs, hub := buildTableScenario(t, 2024+pi)
+			pointDist := fleetB.Dist
+			mtm := shortest.ManyToManyFor(hub)
+			arena := shortest.NewTableArena()
+			table := core.NewDistTable(fleetB.Graph.NumVertices(), pointDist)
+
+			serial := core.NewGreedy(fleetA, core.Config{
+				Alpha: 1, Prune: true, PostCheck: true,
+			}, "serial-point")
+			par := dispatch.NewParallelGreedy(fleetB, dispatch.Config{
+				Plan:         core.Config{Alpha: 1, Prune: true, PostCheck: true},
+				Pool:         pool,
+				SerialCutoff: 1,
+			}, "parallel-table")
+
+			var cands []*core.Worker
+			const batchSize = 6
+			for start := 0; start < len(reqs); start += batchSize {
+				batch := reqs[start:min(start+batchSize, len(reqs))]
+				now := batch[0].Release
+
+				// Prefetch one table for the batch: request endpoints as
+				// columns, candidate workers' route vertices as rows.
+				table.Reset()
+				cands = cands[:0]
+				for _, r := range batch {
+					table.AddRequest(r)
+					cands = fleetB.CandidatesAppend(cands, r, now, 0)
+				}
+				for _, w := range cands {
+					table.AddWorker(w)
+				}
+				table.Install(mtm.Table(arena, table.Rows(), table.Cols()))
+
+				fleetB.Dist = table.Dist
+				for _, r := range batch {
+					rA, rB := *r, *r
+					ra := serial.OnRequest(r.Release, &rA)
+					rb := par.OnRequest(r.Release, &rB)
+					if ra.Served != rb.Served || ra.Worker != rb.Worker ||
+						math.Float64bits(ra.Delta) != math.Float64bits(rb.Delta) {
+						t.Fatalf("pool %d request %d: point %+v table %+v", pool, r.ID, ra, rb)
+					}
+				}
+				fleetB.Dist = pointDist
+			}
+
+			hits, _ := table.Stats()
+			if hits == 0 {
+				t.Fatal("parallel shards never read a table cell")
+			}
+			for i := range fleetA.Workers {
+				ra, rb := &fleetA.Workers[i].Route, &fleetB.Workers[i].Route
+				if len(ra.Stops) != len(rb.Stops) {
+					t.Fatalf("worker %d: route length %d vs %d", i, len(ra.Stops), len(rb.Stops))
+				}
+				for k := range ra.Stops {
+					if ra.Stops[k] != rb.Stops[k] ||
+						math.Float64bits(ra.Arr[k]) != math.Float64bits(rb.Arr[k]) {
+						t.Fatalf("worker %d stop %d diverges", i, k)
+					}
+				}
+			}
+		})
+	}
+}

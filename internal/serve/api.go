@@ -101,6 +101,14 @@ type Stats struct {
 	DegradeState       int    `json:"degrade_state"`
 	DegradeTransitions int    `json:"degrade_transitions"`
 	DistQueries        uint64 `json:"dist_queries"`
+	// TablePrefetches counts admission batches planned against a batched
+	// many-to-many distance table (DESIGN.md §16); TableHits and
+	// TableMisses count planner distance lookups the table answered vs.
+	// sent through to the point chain (misses are also in DistQueries).
+	// Process-lifetime counters, like the latency histograms.
+	TablePrefetches int    `json:"table_prefetches"`
+	TableHits       uint64 `json:"table_hits"`
+	TableMisses     uint64 `json:"table_misses"`
 	// TrafficEpoch is the current weight epoch (0 = base weights);
 	// TrafficUpdates counts applied POST /v1/traffic batches, and
 	// InfeasibleStops the promises broken by slowdowns (cumulative).
@@ -423,6 +431,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	p("# HELP urpsm_dist_queries_total Shortest-distance oracle queries.\n")
 	p("# TYPE urpsm_dist_queries_total counter\n")
 	p("urpsm_dist_queries_total %d\n", st.DistQueries)
+	p("# HELP urpsm_table_prefetches_total Admission batches planned against a batched distance table.\n")
+	p("# TYPE urpsm_table_prefetches_total counter\n")
+	p("urpsm_table_prefetches_total %d\n", st.TablePrefetches)
+	p("# HELP urpsm_table_hits_total Planner distance lookups answered from the batch table.\n")
+	p("# TYPE urpsm_table_hits_total counter\n")
+	p("urpsm_table_hits_total %d\n", st.TableHits)
+	p("# HELP urpsm_table_misses_total Planner distance lookups that fell back to the point chain.\n")
+	p("# TYPE urpsm_table_misses_total counter\n")
+	p("urpsm_table_misses_total %d\n", st.TableMisses)
 	p("# HELP urpsm_workers Fleet size.\n")
 	p("# TYPE urpsm_workers gauge\n")
 	p("urpsm_workers %d\n", st.Workers)

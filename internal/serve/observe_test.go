@@ -166,6 +166,9 @@ var statsSeries = map[string]string{
 	"DegradeState":         "urpsm_degrade_state",
 	"DegradeTransitions":   "urpsm_degrade_transitions_total",
 	"DistQueries":          "urpsm_dist_queries_total",
+	"TablePrefetches":      "urpsm_table_prefetches_total",
+	"TableHits":            "urpsm_table_hits_total",
+	"TableMisses":          "urpsm_table_misses_total",
 	"TrafficEpoch":         "urpsm_traffic_epoch",
 	"TrafficUpdates":       "urpsm_traffic_updates_total",
 	"InfeasibleStops":      "urpsm_infeasible_stops_total",

@@ -1,0 +1,82 @@
+package serve
+
+// Batch-prefetch equivalence: the server's flush-time distance table must
+// be invisible in decisions (DESIGN.md §16). This suite drives identical
+// multi-request admission batches through a default server and a
+// NoBatchPrefetch server and requires both to match the offline
+// reference bit-for-bit, while the stats prove the default server really
+// planned against tables.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shortest"
+)
+
+// runWaves streams the instance through s in waves of size batch,
+// submitting each wave back-to-back (so it flushes as one admission
+// batch) and waiting for its decisions before the next wave.
+func runWaves(t *testing.T, s *Server, reqs []*core.Request, batch int) map[int32]Decision {
+	t.Helper()
+	got := make(map[int32]Decision, len(reqs))
+	for start := 0; start < len(reqs); start += batch {
+		wave := reqs[start:min(start+batch, len(reqs))]
+		chans := make([]<-chan Decision, 0, len(wave))
+		for _, r := range wave {
+			rc := *r // servers must not share request storage
+			ch, err := s.submit(&rc, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans = append(chans, ch)
+		}
+		for _, ch := range chans {
+			select {
+			case d := <-ch:
+				got[d.ID] = d
+			case <-time.After(10 * time.Second):
+				t.Fatal("decision timed out")
+			}
+		}
+	}
+	return got
+}
+
+func TestBatchPrefetchEquivalence(t *testing.T) {
+	g, inst := testInstance(t)
+	want, _, err := OfflineDecisions(g, inst, shortest.BuildHubLabels(g), "hub", 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := sortedRequests(inst)
+	const wave = 8
+	mut := func(c *Config) {
+		c.BatchWindow = 500 * time.Millisecond
+		c.BatchSize = wave // flush exactly when a wave is fully enqueued
+	}
+
+	on := newTestServer(t, g, inst, mut)
+	gotOn := runWaves(t, on, reqs, wave)
+	checkEquivalence(t, gotOn, want)
+
+	off := newTestServer(t, g, inst, func(c *Config) { mut(c); c.NoBatchPrefetch = true })
+	gotOff := runWaves(t, off, reqs, wave)
+	checkEquivalence(t, gotOff, want)
+
+	stOn, stOff := on.Stats(), off.Stats()
+	if stOn.MaxBatch < 2 {
+		t.Fatalf("max batch %d: waves never formed a multi-request batch", stOn.MaxBatch)
+	}
+	if stOn.TablePrefetches == 0 || stOn.TableHits == 0 {
+		t.Fatalf("default server planned without tables (prefetches=%d hits=%d)",
+			stOn.TablePrefetches, stOn.TableHits)
+	}
+	if stOff.TablePrefetches != 0 || stOff.TableHits != 0 {
+		t.Fatalf("NoBatchPrefetch server still prefetched (prefetches=%d hits=%d)",
+			stOff.TablePrefetches, stOff.TableHits)
+	}
+	t.Logf("dist_queries: prefetch on %d (table hits %d, misses %d) vs off %d",
+		stOn.DistQueries, stOn.TableHits, stOn.TableMisses, stOff.DistQueries)
+}

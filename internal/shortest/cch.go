@@ -30,7 +30,9 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/roadnet"
 )
@@ -59,13 +61,39 @@ type CCHSkeleton struct {
 	upBase  []int32
 
 	// tri is the lower-triangle enumeration: flat (c, a, b) arc-index
-	// triples in bottom-up apex-rank order, meaning weight[c] may be
-	// improved to weight[a]+weight[b]. Sweeping it once in order is a
-	// complete basic customization.
+	// triples, meaning weight[c] may be improved to weight[a]+weight[b].
+	// Triples are grouped by (apex contraction level, arc shard c mod
+	// cchCustomizeShards) with group boundaries in triOff — the layout
+	// that lets Customize sweep the levels in parallel (see
+	// sweepParallel) — and within a group they keep bottom-up apex-rank
+	// order. Sweeping the whole array front to back is still a complete,
+	// canonical basic customization: all of a level-ℓ apex's out-arcs are
+	// finalized by the levels before ℓ.
 	tri []int32
+	// triOff[lvl*cchCustomizeShards+s] is the first triple (in triangle
+	// units; multiply by 3 to index tri) of level lvl's shard s;
+	// len(triOff) == numLevels*cchCustomizeShards + 1.
+	triOff    []int32
+	numLevels int
 
 	shortcutArcs int
 }
+
+// cchCustomizeShards is the per-level write-partition width: triangle
+// (c,a,b) lands in shard c mod cchCustomizeShards, so every write to an
+// arc weight within one level happens on a single shard — the invariant
+// that makes the parallel sweep race-free and bit-deterministic.
+const cchCustomizeShards = 32
+
+// cchParallelMinTriples is the skeleton size (in tri elements, i.e.
+// 3·triangles) below which Customize always sweeps serially: goroutine
+// and barrier overhead beats the arithmetic on small hierarchies.
+const cchParallelMinTriples = 3 * 65536
+
+// cchParallelMinLevel is the per-level element count below which one
+// level is swept inline by the coordinating goroutine instead of being
+// fanned out.
+const cchParallelMinLevel = 3 * 4096
 
 // cchUpArc is an upward arc recorded at contraction time.
 type cchUpArc struct {
@@ -199,9 +227,33 @@ func BuildCCHSkeleton(g *roadnet.Graph) *CCHSkeleton {
 	}
 	sk.upStart[n] = pos
 
+	// Contraction levels over the chordal graph: level(v) = 1 + max level
+	// of v's lower upward-neighbors (0 for leaves of the hierarchy). A
+	// rank-order pass finalizes each vertex before its upward arcs are
+	// walked. Levels drive the parallel customization: every out-arc of a
+	// level-ℓ vertex is written only by triangles whose apex sits at a
+	// level < ℓ, so a sweep that barriers between levels reads only
+	// finalized weights.
+	level := make([]int32, n)
+	maxLevel := int32(0)
+	for r := 0; r < n; r++ {
+		v := sk.order[r]
+		lv := level[v] + 1
+		for i := sk.upStart[v]; i < sk.upStart[v+1]; i++ {
+			if x := sk.upTo[i]; level[x] < lv {
+				level[x] = lv
+			}
+		}
+		if level[v] > maxLevel {
+			maxLevel = level[v]
+		}
+	}
+	sk.numLevels = int(maxLevel) + 1
+
 	// Lower-triangle enumeration in bottom-up apex order: when the sweep
 	// reaches apex w, every arc leaving a vertex ranked below w is final,
 	// so relaxing (upTo[i], upTo[j]) via w is sound.
+	var keys []int32
 	for r := 0; r < n; r++ {
 		w := sk.order[r]
 		for i := sk.upStart[w]; i < sk.upStart[w+1]; i++ {
@@ -213,9 +265,31 @@ func BuildCCHSkeleton(g *roadnet.Graph) *CCHSkeleton {
 					panic(fmt.Sprintf("shortest: CCH skeleton missing chordal arc (%d,%d)", sk.upTo[i], sk.upTo[j]))
 				}
 				sk.tri = append(sk.tri, c, i, j)
+				keys = append(keys, level[w]*cchCustomizeShards+c%cchCustomizeShards)
 			}
 		}
 	}
+
+	// Stable counting sort of the triples into (level, shard) groups.
+	// Within a group the apex-rank order above is preserved, so the
+	// layout — and therefore every sweep over it — stays canonical.
+	ngroups := sk.numLevels * cchCustomizeShards
+	sk.triOff = make([]int32, ngroups+1)
+	for _, k := range keys {
+		sk.triOff[k+1]++
+	}
+	for i := 1; i <= ngroups; i++ {
+		sk.triOff[i] += sk.triOff[i-1]
+	}
+	sorted := make([]int32, len(sk.tri))
+	cursor := make([]int32, ngroups)
+	copy(cursor, sk.triOff[:ngroups])
+	for t, k := range keys {
+		p := cursor[k]
+		cursor[k] = p + 1
+		copy(sorted[p*3:p*3+3], sk.tri[t*3:t*3+3])
+	}
+	sk.tri = sorted
 	return sk
 }
 
@@ -246,8 +320,13 @@ func (sk *CCHSkeleton) Triangles() int { return len(sk.tri) / 3 }
 // MemoryBytes reports the skeleton's storage footprint.
 func (sk *CCHSkeleton) MemoryBytes() int64 {
 	return int64(len(sk.upTo))*4 + int64(len(sk.upVia))*4 + int64(len(sk.upBase))*4 +
-		int64(len(sk.upStart))*4 + int64(len(sk.tri))*4 + int64(sk.n)*8
+		int64(len(sk.upStart))*4 + int64(len(sk.tri))*4 + int64(len(sk.triOff))*4 +
+		int64(sk.n)*8
 }
+
+// Levels is the number of contraction levels the customization sweeps
+// (the critical-path length of the parallel sweep).
+func (sk *CCHSkeleton) Levels() int { return sk.numLevels }
 
 // Customize derives the epoch's shortcut weights over the fixed skeleton:
 // original arcs are seeded from costs (the graph's CSR arc-cost array,
@@ -261,7 +340,19 @@ func (sk *CCHSkeleton) MemoryBytes() int64 {
 // Customize is safe to call concurrently on a shared skeleton; each call
 // returns an independent CCH whose query state is its own (wrap in Locked
 // to share one instance across goroutines, as Versioned does).
+//
+// Large skeletons sweep their triangle levels in parallel across
+// GOMAXPROCS workers; the result is bit-identical to the serial sweep
+// (see sweepParallel), so callers cannot observe which path ran except
+// through latency. CustomizeParallel pins the worker count explicitly.
 func (sk *CCHSkeleton) Customize(costs []float64) *CCH {
+	return sk.CustomizeParallel(costs, runtime.GOMAXPROCS(0))
+}
+
+// CustomizeParallel is Customize with an explicit worker count (≤1 forces
+// the serial sweep). Any worker count produces bit-identical weights; the
+// knob exists for the equivalence tests and the customize benchmarks.
+func (sk *CCHSkeleton) CustomizeParallel(costs []float64, workers int) *CCH {
 	if len(costs) != sk.baseArcs {
 		panic(fmt.Sprintf("shortest: Customize got %d arc costs, skeleton topology has %d arcs",
 			len(costs), sk.baseArcs))
@@ -274,17 +365,81 @@ func (sk *CCHSkeleton) Customize(costs []float64) *CCH {
 			w[i] = math.Inf(1)
 		}
 	}
-	for t := 0; t+3 <= len(sk.tri); t += 3 {
-		c, a, b := sk.tri[t], sk.tri[t+1], sk.tri[t+2]
-		if s := w[a] + w[b]; s < w[c] {
-			w[c] = s
-		}
+	if workers > cchCustomizeShards {
+		workers = cchCustomizeShards
+	}
+	if workers <= 1 || len(sk.tri) < cchParallelMinTriples {
+		sk.sweepSerial(w)
+	} else {
+		sk.sweepParallel(w, workers)
 	}
 	return &CCH{
 		skel: sk,
 		upW:  w,
 		fwd:  newCHSearch(sk.n),
 		bwd:  newCHSearch(sk.n),
+	}
+}
+
+// sweepSerial is the reference basic customization: one in-order pass
+// over the grouped triangle list.
+func (sk *CCHSkeleton) sweepSerial(w []float64) {
+	tri := sk.tri
+	for t := 0; t+3 <= len(tri); t += 3 {
+		c, a, b := tri[t], tri[t+1], tri[t+2]
+		if s := w[a] + w[b]; s < w[c] {
+			w[c] = s
+		}
+	}
+}
+
+// sweepRange relaxes the triangles in triple-index range [lo, hi).
+func (sk *CCHSkeleton) sweepRange(w []float64, lo, hi int32) {
+	tri := sk.tri
+	for t := int(lo) * 3; t < int(hi)*3; t += 3 {
+		c, a, b := tri[t], tri[t+1], tri[t+2]
+		if s := w[a] + w[b]; s < w[c] {
+			w[c] = s
+		}
+	}
+}
+
+// sweepParallel runs the customization level by level with a barrier
+// between levels, fanning each level's shards across the workers.
+//
+// Determinism argument (this must stay bit-identical to sweepSerial, or
+// replay equivalence would depend on GOMAXPROCS): a level-ℓ triangle
+// reads the two arcs leaving its apex (level ℓ) and writes the arc
+// between its corners, which leaves a vertex of level > ℓ. So within a
+// level, reads touch only arcs finalized by earlier levels (the barrier)
+// and writes touch only arcs no triangle of this level reads. Two
+// triangles of one level CAN write the same arc — but they share the
+// shard c mod cchCustomizeShards by construction, and a shard is swept
+// by exactly one worker, in canonical order. Every arc therefore ends at
+// min(seed, min over its triangles of w[a]+w[b] with a, b final) — each
+// candidate a single rounded float add of scheduling-independent
+// operands, and a float min is order-independent — which is precisely
+// the serial sweep's result, bit for bit.
+func (sk *CCHSkeleton) sweepParallel(w []float64, workers int) {
+	var wg sync.WaitGroup
+	for lvl := 0; lvl < sk.numLevels; lvl++ {
+		base := lvl * cchCustomizeShards
+		lo := sk.triOff[base]
+		hi := sk.triOff[base+cchCustomizeShards]
+		if (hi-lo)*3 < cchParallelMinLevel {
+			sk.sweepRange(w, lo, hi)
+			continue
+		}
+		wg.Add(workers)
+		for wk := 0; wk < workers; wk++ {
+			go func(wk int) {
+				defer wg.Done()
+				for s := wk; s < cchCustomizeShards; s += workers {
+					sk.sweepRange(w, sk.triOff[base+s], sk.triOff[base+s+1])
+				}
+			}(wk)
+		}
+		wg.Wait()
 	}
 }
 

@@ -1,0 +1,242 @@
+package shortest
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// pickBatch draws a batch of vertices with deliberate duplicates and
+// shared entries so the diagonal (s == t) and repeated-vertex paths are
+// exercised.
+func pickBatch(rng *rand.Rand, n, size int) []roadnet.VertexID {
+	out := make([]roadnet.VertexID, size)
+	for i := range out {
+		out[i] = roadnet.VertexID(rng.Intn(n))
+	}
+	if size >= 2 {
+		out[size-1] = out[0] // guaranteed duplicate
+	}
+	return out
+}
+
+// requireBitIdentical compares every table cell against the point oracle
+// bit-for-bit: the serve layer swaps table cells in for point queries
+// mid-replay, so "close" is not good enough.
+func requireBitIdentical(t *testing.T, tag string, cells []float64,
+	sources, targets []roadnet.VertexID, point Oracle) {
+	t.Helper()
+	nt := len(targets)
+	for i, s := range sources {
+		for j, tt := range targets {
+			got := cells[i*nt+j]
+			want := point.Dist(s, tt)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s: cell(%d,%d)=dist(%d,%d): table %v point %v (bits %x vs %x)",
+					tag, i, j, s, tt, got, want,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestManyToManyMatchesPointDist is the tentpole equivalence suite: for
+// every preprocessed tier, on several randomized graphs, a batched table
+// fill must reproduce the point oracle bit-for-bit — including the
+// diagonal, duplicates, and arena reuse across consecutive batches.
+func TestManyToManyMatchesPointDist(t *testing.T) {
+	tiers := []struct {
+		name  string
+		build func(g *roadnet.Graph) Oracle
+	}{
+		{"hub", func(g *roadnet.Graph) Oracle { return BuildHubLabels(g) }},
+		{"ch", func(g *roadnet.Graph) Oracle { return BuildCH(g) }},
+		{"cch", func(g *roadnet.Graph) Oracle { return BuildCCH(g) }},
+	}
+	for _, tier := range tiers {
+		t.Run(tier.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				g := testGraph(t, 11+int(seed), 13, seed)
+				o := tier.build(g)
+				mtm := ManyToManyFor(o)
+				if mtm == nil {
+					t.Fatalf("ManyToManyFor(%T) = nil", o)
+				}
+				rng := rand.New(rand.NewSource(seed * 77))
+				a := NewTableArena()
+				n := g.NumVertices()
+				// Several batches through ONE arena: reuse must not leak
+				// state between fills.
+				for batch := 0; batch < 4; batch++ {
+					sources := pickBatch(rng, n, 1+rng.Intn(9))
+					targets := pickBatch(rng, n, 1+rng.Intn(9))
+					if batch == 2 {
+						targets[0] = sources[0] // force a diagonal cell
+					}
+					cells := mtm.Table(a, sources, targets)
+					requireBitIdentical(t, tier.name, cells, sources, targets, o)
+				}
+				// Empty batches return empty tables without touching state.
+				if got := mtm.Table(a, nil, nil); len(got) != 0 {
+					t.Fatalf("empty batch returned %d cells", len(got))
+				}
+			}
+		})
+	}
+}
+
+// TestManyToManyAcrossEpochs re-customizes a CCH skeleton with perturbed
+// arc costs (a traffic epoch) and requires the bucket table to track the
+// point queries bit-for-bit on every epoch's weights.
+func TestManyToManyAcrossEpochs(t *testing.T) {
+	g := testGraph(t, 12, 12, 9)
+	sk := BuildCCHSkeleton(g)
+	base := g.ArcCosts()
+	rng := rand.New(rand.NewSource(42))
+	a := NewTableArena()
+	n := g.NumVertices()
+	costs := make([]float64, len(base))
+	for epoch := 0; epoch < 4; epoch++ {
+		copy(costs, base)
+		for i := range costs {
+			if rng.Intn(4) == 0 {
+				costs[i] *= 1 + 3*rng.Float64() // congestion on a quarter of arcs
+			}
+		}
+		c := sk.Customize(costs)
+		mtm := ManyToManyFor(c)
+		sources := pickBatch(rng, n, 7)
+		targets := pickBatch(rng, n, 6)
+		cells := mtm.Table(a, sources, targets)
+		requireBitIdentical(t, "cch-epoch", cells, sources, targets, c)
+	}
+}
+
+// TestDijkstraMtMMatchesDijkstra pins the fallback filler to forward
+// Dijkstra point queries (its bit-reference; BiDijkstra's meet sums round
+// differently, which is why the bidijkstra tier gets no batched form).
+func TestDijkstraMtMMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 10, 14, 5)
+	mtm := NewDijkstraMtM(g)
+	point := NewDijkstra(g)
+	rng := rand.New(rand.NewSource(5))
+	a := NewTableArena()
+	n := g.NumVertices()
+	for batch := 0; batch < 3; batch++ {
+		sources := pickBatch(rng, n, 5)
+		targets := pickBatch(rng, n, 8)
+		cells := mtm.Table(a, sources, targets)
+		requireBitIdentical(t, "dijkstra", cells, sources, targets, point)
+	}
+}
+
+// TestManyToManyForUnwraps checks the shim-unwrapping: counting, locking
+// and caching layers must not hide a batched-capable tier, and tiers
+// without a bit-identical batched form must yield nil.
+func TestManyToManyForUnwraps(t *testing.T) {
+	g := testGraph(t, 8, 8, 3)
+	ch := BuildCH(g)
+	wrapped := NewCounting(NewLocked(NewAtomicCounting(ch)))
+	mtm := ManyToManyFor(wrapped)
+	if mtm == nil {
+		t.Fatal("ManyToManyFor failed to unwrap the shim chain")
+	}
+	if _, ok := mtm.(*BucketMtM); !ok {
+		t.Fatalf("unwrapped to %T, want *BucketMtM", mtm)
+	}
+	if got := ManyToManyFor(NewShardedCached(BuildHubLabels(g), 64, 4)); got == nil {
+		t.Fatal("ManyToManyFor missed hub labels under ShardedCached")
+	}
+	if got := ManyToManyFor(NewBiDijkstra(g)); got != nil {
+		t.Fatalf("ManyToManyFor(BiDijkstra) = %T, want nil (no bit-identical batched form)", got)
+	}
+}
+
+// TestCurrentTier checks the Versioned accessor batch prefetchers use:
+// it must expose the unwrapped built tier while current and decline
+// while a rebuild is pending.
+func TestCurrentTier(t *testing.T) {
+	g := testGraph(t, 9, 9, 2)
+	v := NewVersioned(g, DefaultAutoBudget(), false)
+	tier, kind, ok := v.CurrentTier()
+	if !ok || tier == nil {
+		t.Fatal("CurrentTier not available after synchronous construction")
+	}
+	if kind != v.ResolvedKind() {
+		t.Fatalf("kind %v != resolved %v", kind, v.ResolvedKind())
+	}
+	if _, locked := tier.(*Locked); locked {
+		t.Fatal("CurrentTier returned a Locked shim; batch fillers need the raw tier")
+	}
+	if ManyToManyFor(tier) == nil {
+		t.Fatalf("no batched filler for current tier %T", tier)
+	}
+	// The table a filler produces from the unwrapped tier must match the
+	// Versioned front's own answers bit-for-bit.
+	rng := rand.New(rand.NewSource(8))
+	a := NewTableArena()
+	n := g.NumVertices()
+	sources := pickBatch(rng, n, 6)
+	targets := pickBatch(rng, n, 6)
+	cells := ManyToManyFor(tier).Table(a, sources, targets)
+	requireBitIdentical(t, "versioned", cells, sources, targets, v)
+}
+
+// TestCustomizeParallelBitExact pins the parallel triangle sweep to the
+// serial one: identical shortcut-weight arrays for every worker count,
+// on base and perturbed (traffic-epoch) metrics.
+func TestCustomizeParallelBitExact(t *testing.T) {
+	g := testGraph(t, 14, 14, 7)
+	sk := BuildCCHSkeleton(g)
+	base := g.ArcCosts()
+	rng := rand.New(rand.NewSource(11))
+	costs := make([]float64, len(base))
+	for epoch := 0; epoch < 3; epoch++ {
+		copy(costs, base)
+		if epoch > 0 {
+			for i := range costs {
+				if rng.Intn(3) == 0 {
+					costs[i] *= 1 + 2*rng.Float64()
+				}
+			}
+		}
+		ref := sk.CustomizeParallel(costs, 1)
+		for _, workers := range []int{2, 3, 8, 32, 64} {
+			got := sk.CustomizeParallel(costs, workers)
+			if !slices.Equal(ref.upW, got.upW) {
+				t.Fatalf("epoch %d: CustomizeParallel(workers=%d) diverges from serial sweep",
+					epoch, workers)
+			}
+		}
+	}
+}
+
+// TestCustomizeParallelLargeSkeleton forces the parallel path (the small
+// fixtures above stay under cchParallelMinTriples) and re-checks
+// bit-exactness where the fan-out actually runs.
+func TestCustomizeParallelLargeSkeleton(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 40x40 skeleton")
+	}
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 40, Cols: 40, Spacing: 150, Jitter: 0.2, ArterialEvery: 5,
+		MotorwayRing: true, RemoveFrac: 0.08, DetourMin: 1.05, DetourMax: 1.3, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := BuildCCHSkeleton(g)
+	if len(sk.tri) < cchParallelMinTriples {
+		t.Skipf("skeleton too small to trigger the parallel path: %d elements", len(sk.tri))
+	}
+	ref := sk.CustomizeParallel(g.ArcCosts(), 1)
+	for _, workers := range []int{2, 4, 32} {
+		got := sk.CustomizeParallel(g.ArcCosts(), workers)
+		if !slices.Equal(ref.upW, got.upW) {
+			t.Fatalf("workers=%d diverges from serial on the large skeleton", workers)
+		}
+	}
+}

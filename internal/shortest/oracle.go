@@ -9,6 +9,7 @@
 package shortest
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/roadnet"
@@ -59,9 +60,25 @@ type Matrix struct {
 	dist []float64
 }
 
-// NewMatrix runs one full Dijkstra per vertex and stores the results.
+// maxMatrixVertices caps NewMatrix at a ~4 GiB table. A dense matrix on a
+// real road network (DIMACS USA is 24M vertices — petabytes) is always a
+// caller bug, and without the guard the symptom is an OOM kill mid-make
+// rather than a diagnosis.
+const maxMatrixVertices = 23170
+
+// matrixOverheadBytes is the fixed footprint beyond the cell payload: the
+// slice header (24 bytes) plus the n field (8).
+const matrixOverheadBytes = 32
+
+// NewMatrix runs one full Dijkstra per vertex and stores the results. It
+// panics with a sizing diagnosis on graphs beyond maxMatrixVertices, where
+// the quadratic table could not be allocated anyway.
 func NewMatrix(g *roadnet.Graph) *Matrix {
 	n := g.NumVertices()
+	if n > maxMatrixVertices {
+		panic(fmt.Sprintf("shortest: NewMatrix on %d vertices needs %.1f GiB for the dense table (limit %d vertices); use a preprocessed tier (hub labels, CH, CCH) instead",
+			n, float64(n)*float64(n)*8/(1<<30), maxMatrixVertices))
+	}
 	m := &Matrix{n: n, dist: make([]float64, n*n)}
 	d := NewDijkstra(g)
 	for s := 0; s < n; s++ {
@@ -79,8 +96,12 @@ func (m *Matrix) Dist(s, t roadnet.VertexID) float64 {
 	return m.dist[int(s)*m.n+int(t)]
 }
 
-// MemoryBytes reports the approximate size of the matrix.
-func (m *Matrix) MemoryBytes() int64 { return int64(len(m.dist)) * 8 }
+// MemoryBytes reports the size of the matrix including the struct and
+// slice-header overhead (it used to count the cell payload alone, which
+// understated every small-matrix footprint the experiment tables report).
+func (m *Matrix) MemoryBytes() int64 {
+	return int64(len(m.dist))*8 + matrixOverheadBytes
+}
 
 // Inf is the distance reported for unreachable pairs.
 var Inf = math.Inf(1)

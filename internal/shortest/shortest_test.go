@@ -3,6 +3,7 @@ package shortest
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/geo"
@@ -225,9 +226,35 @@ func TestMatrixOracle(t *testing.T) {
 			t.Fatalf("matrix mismatch at (%d,%d)", s, tt)
 		}
 	}
-	if m.MemoryBytes() != int64(n)*int64(n)*8 {
-		t.Fatal("matrix memory wrong")
+	if m.MemoryBytes() <= int64(n)*int64(n)*8 {
+		t.Fatal("matrix memory must include header overhead beyond the cell payload")
 	}
+	if m.MemoryBytes() != int64(n)*int64(n)*8+32 {
+		t.Fatalf("matrix memory = %d, want payload+32", m.MemoryBytes())
+	}
+}
+
+func TestNewMatrixGuard(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewMatrix on an oversized graph must panic with a sizing diagnosis")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "GiB") {
+			t.Fatalf("panic %v does not diagnose the allocation size", r)
+		}
+	}()
+	// A graph just over the cap; only NumVertices matters before the guard.
+	g, err := roadnet.Generate(roadnet.GenConfig{
+		Rows: 153, Cols: 152, Spacing: 100, DetourMin: 1, DetourMax: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() <= maxMatrixVertices {
+		t.Skipf("generated only %d vertices", g.NumVertices())
+	}
+	NewMatrix(g)
 }
 
 func TestCountingOracle(t *testing.T) {

@@ -2,7 +2,7 @@
 # bench-json.sh — run the headline benchmarks and append one labeled run
 # to a JSON benchmark-trajectory artifact (see cmd/benchjson).
 #
-#   scripts/bench-json.sh                         # 100x run -> BENCH_PR9.json, label = short commit
+#   scripts/bench-json.sh                         # 100x run -> BENCH_PR10.json, label = short commit
 #   scripts/bench-json.sh -t 1x -o /tmp/b.json    # CI smoke: one iteration per benchmark
 #   scripts/bench-json.sh -l post-PR4             # explicit label
 #   scripts/bench-json.sh -b 'BenchmarkPruningAblation'  # subset
@@ -15,17 +15,30 @@
 # of a full CH rebuild versus a CCH customization), the WAL group
 # commit (fsync amortization across admission-batch sizes), the
 # flight-recorder observability tax (plan path with observer on vs off —
-# must stay within noise at 0 allocs/op), and the open-loop saturation
+# must stay within noise at 0 allocs/op), the open-loop saturation
 # sweep (goodput/shed-rate/p99 at offered loads straddling the service's
-# throughput knee, under a bounded admission queue — DESIGN.md §15).
+# throughput knee, under a bounded admission queue — DESIGN.md §15),
+# the batched many-to-many distance oracle across the scale ladder
+# (one table fill vs 1024 point queries per tier, DESIGN.md §16) and
+# the level-parallel CCH customization sweep.
 # -benchmem is always on so allocs/op regressions are recorded in the
 # artifact.
+#
+# BenchmarkBatchPlanning replays the tail of a Chengdu-like stream per
+# iteration (~seconds/op by design), so it runs in a separate heavy pass
+# at HEAVYTIME iterations rather than the headline BENCHTIME.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound|BenchmarkDistUnderRebuild|BenchmarkWALCommit|BenchmarkPlanWithObserver|BenchmarkSaturation'
+# The 102k-vertex many-to-many rungs (a ~2-minute CCH build, paid once
+# per go-test process) only run when this is exported.
+export URPSM_BENCH_XL=1
+
+BENCH='BenchmarkPruningAblation|BenchmarkParallelPlanning|BenchmarkInsertionScaling|BenchmarkOracleAblation|BenchmarkDecisionLowerBound|BenchmarkDistUnderRebuild|BenchmarkWALCommit|BenchmarkPlanWithObserver|BenchmarkSaturation|BenchmarkManyToMany|BenchmarkCCHCustomize'
+HEAVY='BenchmarkBatchPlanning'
+HEAVYTIME=3x
 BENCHTIME=100x
-OUT=BENCH_PR9.json
+OUT=BENCH_PR10.json
 LABEL=""
 # Repetitions are recorded verbatim in the artifact; the bench gate takes
 # the per-benchmark minimum, so a -c 3 baseline is judged by the same
@@ -56,6 +69,7 @@ trap 'rm -f "$RAW"' EXIT
 echo "bench-json: running '$BENCH' at -benchtime $BENCHTIME, $COUNT sweep(s) ..." >&2
 for _ in $(seq "$COUNT"); do
   go test -run xxx -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee -a "$RAW" >&2
+  go test -run xxx -bench "$HEAVY" -benchmem -benchtime "$HEAVYTIME" . | tee -a "$RAW" >&2
 done
 
 go run ./cmd/benchjson -label "$LABEL" -benchtime "$BENCHTIME" -out "$OUT" < "$RAW"
